@@ -1,0 +1,194 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per experiment; see DESIGN.md's per-experiment index), plus kernel and
+// runtime microbenchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+package micronets
+
+import (
+	"math/rand"
+	"testing"
+
+	"micronets/internal/experiments"
+	"micronets/internal/graph"
+	"micronets/internal/mcu"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure2MemoryMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2("MicroNet-KWS-L", 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3LayerCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(20, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4LatencyLinearity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure4(40, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.R2 < 0.9 {
+				b.Fatalf("linearity regressed: %s/%s r2=%.3f", s.Backbone, s.Device, s.R2)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure5PowerEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(60, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7KWSPareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RenderPareto("kws", 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8VWWPareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RenderPareto("vww", 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9PowerTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10SubByte(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11MCUNetComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2FourBitKWS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3AnomalyDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4FullResults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5Architectures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table5()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- runtime microbenchmarks -------------------------------------------
+
+func loweredModel(b *testing.B, name string) *graph.Model {
+	b.Helper()
+	e, err := zoo.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(1)), graph.LowerOptions{AppendSoftmax: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkInterpreterInvokeKWSS(b *testing.B) {
+	m := loweredModel(b, "MicroNet-KWS-S")
+	ip, err := tflm.NewInterpreter(m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ip.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryPlannerKWSL(b *testing.B) {
+	m := loweredModel(b, "MicroNet-KWS-L")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tflm.PlanMemory(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLatencyModelVWW1(b *testing.B) {
+	m := loweredModel(b, "MicroNet-VWW-1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mcu.Latency(m, mcu.F746ZG) <= 0 {
+			b.Fatal("bad latency")
+		}
+	}
+}
+
+func BenchmarkSerializeKWSM(b *testing.B) {
+	m := loweredModel(b, "MicroNet-KWS-M")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if graph.SerializedSize(m) <= 0 {
+			b.Fatal("bad size")
+		}
+	}
+}

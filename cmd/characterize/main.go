@@ -1,0 +1,81 @@
+// Command characterize runs the §3 hardware characterization on the MCU
+// simulator: layer-wise latency (Figure 3), whole-model latency linearity
+// (Figure 4), power/energy (Figure 5) and duty-cycled traces (Figure 9).
+// It can also emit raw CSV scatter data for external plotting.
+//
+// Usage:
+//
+//	characterize [-models 200] [-layers 100] [-csv fig4.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"micronets/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	nModels := flag.Int("models", 200, "random models per backbone (Figure 4/5)")
+	nLayers := flag.Int("layers", 100, "random layers per kind (Figure 3)")
+	csv := flag.String("csv", "", "write Figure 4 scatter points to this CSV file")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	pts, err := experiments.Figure3(*nLayers, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spread := experiments.ThroughputSpread(pts)
+	fmt.Printf("Figure 3 (%d layers on the large MCU): ops/s percentiles\n", len(pts))
+	for _, k := range []string{"conv", "fc", "dwconv"} {
+		s := spread[k]
+		fmt.Printf("  %-8s p10 %6.1f   median %6.1f   p90 %6.1f  Mops/s\n", k, s[0], s[1], s[2])
+	}
+
+	series, err := experiments.Figure4(*nModels, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 4 (%d random models per backbone):\n", *nModels)
+	for _, s := range series {
+		fmt.Printf("  %-6s on %-12s r²=%.4f  throughput %.1f Mops/s\n",
+			s.Backbone, s.Device, s.R2, s.ThroughputMops)
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "backbone,device,mops,latency_s")
+		for _, s := range series {
+			for _, p := range s.Points {
+				fmt.Fprintf(f, "%s,%s,%.3f,%.6f\n", s.Backbone, s.Device, p.X, p.Y)
+			}
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  wrote scatter data to %s\n", *csv)
+	}
+
+	fig5, err := experiments.Figure5(*nModels, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 5 (%d random models):\n", *nModels)
+	for _, s := range fig5 {
+		fmt.Printf("  %-12s power σ/µ=%.5f (paper: 0.00731)  energy r²=%.4f  %.3f mJ/Mop\n",
+			s.Device, s.PowerSigmaMu, s.EnergyR2, s.EnergySlopeMJ)
+	}
+
+	out, err := experiments.Figure9(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", out)
+}

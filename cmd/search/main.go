@@ -1,0 +1,105 @@
+// Command search runs differentiable NAS (§5) for a task under MCU
+// constraints, on the synthetic datasets, and prints the discovered
+// architecture with its resource usage.
+//
+// Usage:
+//
+//	search -task kws -device S [-steps 150] [-maxc 64] [-blocks 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"micronets/internal/core"
+	"micronets/internal/datasets"
+	"micronets/internal/mcu"
+	"micronets/internal/nn"
+	"micronets/internal/tflm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("search: ")
+	task := flag.String("task", "kws", "task: kws or ad")
+	device := flag.String("device", "S", "target MCU class: S, M or L")
+	steps := flag.Int("steps", 150, "search steps")
+	maxC := flag.Int("maxc", 64, "maximum block width (paper uses 276)")
+	blocks := flag.Int("blocks", 5, "number of searchable DS blocks (paper uses 9)")
+	perClass := flag.Int("per-class", 10, "synthetic clips per class")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	dev, err := mcu.ByClass(*device)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var cfg core.SupernetConfig
+	var ds *datasets.Dataset
+	switch *task {
+	case "kws":
+		cfg = core.KWSSupernetConfig(49, 10, 12, *maxC, *blocks)
+		ds = datasets.SynthKWS(datasets.KWSOptions{PerClass: *perClass, Seed: *seed})
+	case "ad":
+		cfg = core.ADSupernetConfig(*maxC, *blocks)
+		ad := datasets.SynthAD(datasets.ADOptions{ClipsPerMachine: *perClass, Seed: *seed})
+		ds = ad.ClassifierDataset()
+	default:
+		log.Fatalf("unknown task %q", *task)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	trainDS, valDS := ds.Split(rng, 0.3)
+
+	// Budgets from the device, minus the TFLM overheads the paper
+	// subtracts ("available SRAM minus the expected TFLM overhead").
+	sramBudget := float64(dev.SRAMBytes() - tflm.InterpreterSRAMBytes - tflm.OtherSRAMBytes)
+	flashBudget := float64(dev.FlashBytes()-tflm.RuntimeCodeFlashBytes-tflm.OtherFlashBytes) * 0.8
+	cons := core.Constraints{
+		MaxParams:       flashBudget,
+		MaxWorkMemElems: sramBudget * 0.8, // leave room for persistent buffers
+		MaxOps:          40e6,             // latency target via the ops proxy (§5.1.2)
+	}
+
+	sn, err := core.NewSupernet(rng, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainRng := rand.New(rand.NewSource(*seed + 1))
+	valRng := rand.New(rand.NewSource(*seed + 2))
+	res, err := core.RunSearch(sn,
+		func(step int) core.Batch {
+			x, labels := trainDS.RandomBatch(trainRng, 16)
+			return core.Batch{X: x, Labels: labels}
+		},
+		func(step int) core.Batch {
+			x, labels := valDS.RandomBatch(valRng, 16)
+			return core.Batch{X: x, Labels: labels}
+		},
+		cons,
+		core.SearchConfig{
+			Steps: *steps, ArchStartStep: *steps / 5,
+			WeightLR: nn.CosineSchedule{Start: 0.05, End: 0.002, Steps: *steps},
+			Seed:     *seed,
+			Log:      func(s string) { fmt.Println("  " + s) },
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ndiscovered architecture:\n  %s\n\n", res.Spec)
+	a, err := res.Spec.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("params %.1f KB (budget %.1f KB)\n", float64(a.TotalParams)/1024, cons.MaxParams/1024)
+	fmt.Printf("working memory %.1f KB (budget %.1f KB)\n", float64(a.PeakWorkingSetBytes)/1024, cons.MaxWorkMemElems/1024)
+	fmt.Printf("ops %.1f Mops (budget %.1f Mops)\n", float64(a.TotalOps())/1e6, cons.MaxOps/1e6)
+	if len(res.Violations) > 0 {
+		fmt.Printf("relaxed-model violations at end of search: %v\n", res.Violations)
+	} else {
+		fmt.Println("all constraints satisfied")
+	}
+}

@@ -1,0 +1,141 @@
+// Command train trains a model on one of the synthetic task datasets,
+// optionally with QAT, evaluates it, exports it to the int8 runtime and
+// reports the float-vs-int8 accuracy and deployment cost.
+//
+// Usage:
+//
+//	train -task kws [-steps 200] [-width 16] [-qat] [-device S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"micronets"
+	"micronets/internal/arch"
+	"micronets/internal/datasets"
+	"micronets/internal/graph"
+	"micronets/internal/mcu"
+	"micronets/internal/nn"
+	"micronets/internal/tflm"
+	"micronets/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	task := flag.String("task", "kws", "task: kws, vww or ad")
+	steps := flag.Int("steps", 200, "training steps")
+	width := flag.Int("width", 16, "base channel width of the demo model")
+	qat := flag.Bool("qat", true, "quantization-aware training")
+	device := flag.String("device", "S", "deployment MCU class")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var ds *datasets.Dataset
+	var spec *arch.Spec
+	w := *width
+	switch *task {
+	case "kws":
+		ds = datasets.SynthKWS(datasets.KWSOptions{PerClass: 12, Seed: *seed})
+		spec = &arch.Spec{
+			Name: "train-kws", Task: "kws", InputH: 49, InputW: 10, InputC: 1, NumClasses: 12,
+			Blocks: []arch.Block{
+				{Kind: arch.Conv, KH: 10, KW: 4, OutC: w, Stride: 1},
+				{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: w + w/2, Stride: 2},
+				{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: w + w/2, Stride: 1},
+				{Kind: arch.AvgPool, KH: 25, KW: 5, Stride: 1},
+				{Kind: arch.Dense, OutC: 12},
+			},
+		}
+	case "vww":
+		ds = datasets.SynthVWW(datasets.VWWOptions{Size: 32, PerClass: 60, Seed: *seed})
+		spec = &arch.Spec{
+			Name: "train-vww", Task: "vww", InputH: 32, InputW: 32, InputC: 1, NumClasses: 2,
+			Blocks: []arch.Block{
+				{Kind: arch.Conv, KH: 3, KW: 3, OutC: w / 2, Stride: 2},
+				{Kind: arch.IBN, KH: 3, KW: 3, Expand: w, OutC: w / 2, Stride: 1},
+				{Kind: arch.IBN, KH: 3, KW: 3, Expand: w * 2, OutC: w, Stride: 2},
+				{Kind: arch.GlobalPool},
+				{Kind: arch.Dense, OutC: 2},
+			},
+		}
+	case "ad":
+		ad := datasets.SynthAD(datasets.ADOptions{ClipsPerMachine: 8, Seed: *seed})
+		ds = ad.ClassifierDataset()
+		spec = &arch.Spec{
+			Name: "train-ad", Task: "ad", InputH: 32, InputW: 32, InputC: 1, NumClasses: 4,
+			Blocks: []arch.Block{
+				{Kind: arch.Conv, KH: 3, KW: 3, OutC: w / 2, Stride: 1},
+				{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: w, Stride: 2},
+				{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: w, Stride: 2},
+				{Kind: arch.GlobalPool},
+				{Kind: arch.Dense, OutC: 4},
+			},
+		}
+	default:
+		log.Fatalf("unknown task %q", *task)
+	}
+
+	opts := arch.BuildOptions{}
+	if *qat {
+		opts.QuantWeightBits, opts.QuantActBits = 8, 8
+	}
+	model, err := arch.Build(rng, spec, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainDS, testDS := ds.Split(rng, 0.25)
+	fmt.Printf("training %s on %d samples (%d steps, QAT=%v)...\n",
+		spec.Name, len(trainDS.Samples), *steps, *qat)
+	if _, err := train.Fit(model, trainDS, train.Config{
+		Steps: *steps, BatchSize: 16,
+		LR:          nn.CosineSchedule{Start: 0.05, End: 0.001, Steps: *steps},
+		WeightDecay: 0.001,
+		SpecAugment: *task == "kws",
+		MixupAlpha:  map[bool]float32{true: 0.3, false: 0}[*task == "ad"],
+		Seed:        *seed,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("float test accuracy: %.1f%%\n", train.Accuracy(model, testDS)*100)
+
+	calib, _ := trainDS.RandomBatch(rng, 32)
+	gm, err := graph.Export(spec, model, calib, graph.LowerOptions{AppendSoftmax: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ip, err := tflm.NewInterpreter(gm, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	for _, s := range testDS.Samples {
+		pred, _, err := ip.Classify(s.X)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred == s.Label {
+			correct++
+		}
+	}
+	fmt.Printf("int8 test accuracy:  %.1f%%\n", float64(correct)/float64(len(testDS.Samples))*100)
+
+	dev, err := mcu.ByClass(*device)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := micronets.DeployModel(spec, gm, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed on %s: latency %.3f s, energy %.1f mJ, SRAM %.1f KB, flash %.1f KB\n",
+		dev.Name, dep.LatencySeconds, dep.EnergyMJ,
+		float64(dep.Report.ModelSRAM())/1024, float64(dep.Report.ModelFlash())/1024)
+	if dep.FitsErr != nil {
+		fmt.Printf("WARNING: %v\n", dep.FitsErr)
+	}
+}

@@ -1,0 +1,47 @@
+// Command zoostat prints the model inventory: analyzed op counts, parameter
+// counts and working-set estimates for every zoo architecture, side by side
+// with the paper's published numbers. Used to validate (and calibrate) the
+// reconstructed architectures.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"micronets/internal/graph"
+	"micronets/internal/mcu"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+func main() {
+	cat := zoo.Catalog()
+	fmt.Printf("%-22s %-4s %9s %9s %9s %9s %9s %9s %8s %8s %8s %8s\n",
+		"model", "task", "Mops", "pMops", "flashKB", "pFlash", "sramKB", "pSRAM", "latM", "pLatM", "latS", "pLatS")
+	for _, name := range zoo.Names() {
+		e := cat[name]
+		if e.Spec == nil {
+			fmt.Printf("%-22s %-4s  (stats-only: paper flash %.0fKB sram %.0fKB)\n", e.Name, e.Task, e.Paper.FlashKB, e.Paper.SRAMKB)
+			continue
+		}
+		m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(1)), graph.LowerOptions{AppendSoftmax: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lower %s: %v\n", name, err)
+			continue
+		}
+		rep, err := tflm.Report(m, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report %s: %v\n", name, err)
+			continue
+		}
+		latM := mcu.Latency(m, mcu.F746ZG)
+		latS := mcu.Latency(m, mcu.F446RE)
+		fmt.Printf("%-22s %-4s %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %8.3f %8.3f %8.3f %8.3f\n",
+			e.Name, e.Task,
+			float64(m.TotalOps())/1e6, e.Paper.MOps,
+			float64(rep.ModelFlash())/1024, e.Paper.FlashKB,
+			float64(rep.ModelSRAM())/1024, e.Paper.SRAMKB,
+			latM, e.Paper.LatM, latS, e.Paper.LatS)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: load a MicroNet from the zoo, deploy it on each simulated
+// MCU, and print the memory map, latency and energy — the 30-second tour
+// of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"micronets"
+	"micronets/internal/mcu"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec, err := micronets.Model("MicroNet-KWS-S")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(spec)
+	fmt.Println()
+
+	for _, dev := range []*mcu.Device{micronets.DeviceS, micronets.DeviceM, micronets.DeviceL} {
+		dep, err := micronets.Deploy(spec, dev, micronets.DeployOptions{AppendSoftmax: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", dev)
+		if dep.FitsErr != nil {
+			fmt.Printf("  not deployable: %v\n\n", dep.FitsErr)
+			continue
+		}
+		fmt.Printf("  model SRAM %.1f KB, model flash %.1f KB\n",
+			float64(dep.Report.ModelSRAM())/1024, float64(dep.Report.ModelFlash())/1024)
+		fmt.Printf("  latency %.3f s, power %.0f mW, energy %.1f mJ/inference\n\n",
+			dep.LatencySeconds, dep.ActivePowerMW, dep.EnergyMJ)
+	}
+
+	// Side-by-side with the paper's published Table 4 numbers.
+	paper, err := micronets.Paper("MicroNet-KWS-S")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper reports: %.1f%% accuracy, %.3f s on the medium MCU, %.0f KB flash\n",
+		paper.Accuracy, paper.LatM, paper.FlashKB)
+}

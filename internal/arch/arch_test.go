@@ -1,0 +1,214 @@
+package arch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	ag "micronets/internal/autograd"
+	"micronets/internal/tensor"
+)
+
+func kwsM() *Spec {
+	return &Spec{
+		Name: "kws-m", Task: "kws",
+		InputH: 49, InputW: 10, InputC: 1, NumClasses: 12,
+		Blocks: []Block{
+			{Kind: Conv, KH: 10, KW: 4, OutC: 140, Stride: 1},
+			{Kind: DSBlock, KH: 3, KW: 3, OutC: 140, Stride: 2},
+			{Kind: DSBlock, KH: 3, KW: 3, OutC: 140, Stride: 1},
+			{Kind: DSBlock, KH: 3, KW: 3, OutC: 140, Stride: 1},
+			{Kind: DSBlock, KH: 3, KW: 3, OutC: 112, Stride: 1},
+			{Kind: DSBlock, KH: 3, KW: 3, OutC: 196, Stride: 1},
+			{Kind: AvgPool, KH: 25, KW: 5, Stride: 1},
+			{Kind: Dense, OutC: 12},
+		},
+	}
+}
+
+// TestAnalyzeMatchesPaperOps validates the op-counting convention against
+// Table 4: MicroNet-KWS-M is reported at 30.6 Mops.
+func TestAnalyzeMatchesPaperOps(t *testing.T) {
+	a, err := kwsM().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mops := float64(a.TotalOps()) / 1e6
+	if mops < 29 || mops > 33 {
+		t.Fatalf("KWS-M ops = %.1f Mops, paper says 30.6", mops)
+	}
+	// And the parameter count should serialize near the paper's 163 KB
+	// model (weights alone ~110 KB).
+	if a.TotalParams < 100_000 || a.TotalParams > 130_000 {
+		t.Fatalf("KWS-M params = %d", a.TotalParams)
+	}
+}
+
+func TestAnalyzeShapes(t *testing.T) {
+	a, err := kwsM().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := a.Layers[0]
+	if first.OutH != 49 || first.OutW != 10 || first.OutC != 140 {
+		t.Fatalf("first conv out %dx%dx%d", first.OutH, first.OutW, first.OutC)
+	}
+	// After the stride-2 block: 25x5.
+	dw := a.Layers[1]
+	if dw.OutH != 25 || dw.OutW != 5 {
+		t.Fatalf("stride-2 dw out %dx%d", dw.OutH, dw.OutW)
+	}
+	last := a.Layers[len(a.Layers)-1]
+	if last.Kind != "dense" || last.OutC != 12 {
+		t.Fatalf("last layer %+v", last)
+	}
+}
+
+func TestAnalyzeIBNResidualAdd(t *testing.T) {
+	s := &Spec{
+		Name: "ibn", Task: "vww", InputH: 8, InputW: 8, InputC: 1, NumClasses: 2,
+		Blocks: []Block{
+			{Kind: Conv, KH: 3, KW: 3, OutC: 8, Stride: 1},
+			{Kind: IBN, Expand: 16, OutC: 8, Stride: 1},
+			{Kind: IBN, Expand: 16, OutC: 12, Stride: 2},
+		},
+	}
+	a, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := 0
+	for _, l := range a.Layers {
+		if l.Kind == "add" {
+			adds++
+		}
+	}
+	if adds != 1 {
+		t.Fatalf("adds = %d, want 1 (only the stride-1 same-width IBN)", adds)
+	}
+}
+
+func TestAnalyzeRejectsBadSpecs(t *testing.T) {
+	bad := &Spec{Name: "bad", InputH: 0, InputW: 4, InputC: 1}
+	if _, err := bad.Analyze(); err == nil {
+		t.Fatal("zero input dim must error")
+	}
+	convAfterDense := &Spec{
+		Name: "bad2", InputH: 4, InputW: 4, InputC: 1,
+		Blocks: []Block{
+			{Kind: Dense, OutC: 4},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 4},
+		},
+	}
+	if _, err := convAfterDense.Analyze(); err == nil {
+		t.Fatal("conv after flatten must error")
+	}
+	noExpand := &Spec{
+		Name: "bad3", InputH: 4, InputW: 4, InputC: 1,
+		Blocks: []Block{{Kind: IBN, OutC: 4}},
+	}
+	if _, err := noExpand.Analyze(); err == nil {
+		t.Fatal("IBN without Expand must error")
+	}
+}
+
+func TestAnalyzeTransposedConvNotDeployable(t *testing.T) {
+	s := &Spec{
+		Name: "tconv", InputH: 8, InputW: 8, InputC: 1,
+		Blocks: []Block{{Kind: TransposedConv, KH: 3, KW: 3, OutC: 4, Stride: 2}},
+	}
+	a, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Deployable {
+		t.Fatal("transposed conv specs must be flagged non-deployable")
+	}
+}
+
+func TestWorkingSetIsMax(t *testing.T) {
+	a, err := kwsM().Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxWS int64
+	for _, l := range a.Layers {
+		if ws := l.InBytes() + l.OutBytes(); ws > maxWS {
+			maxWS = ws
+		}
+	}
+	if a.PeakWorkingSetBytes != maxWS {
+		t.Fatalf("peak %d != max over layers %d", a.PeakWorkingSetBytes, maxWS)
+	}
+}
+
+func TestBuildForwardMatchesAnalyzeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec := &Spec{
+		Name: "small", Task: "kws",
+		InputH: 16, InputW: 8, InputC: 1, NumClasses: 4,
+		Blocks: []Block{
+			{Kind: Conv, KH: 3, KW: 3, OutC: 8, Stride: 1},
+			{Kind: DSBlock, KH: 3, KW: 3, OutC: 12, Stride: 2},
+			{Kind: IBN, Expand: 24, OutC: 12, Stride: 1},
+			{Kind: MaxPool, KH: 2, KW: 2, Stride: 2},
+			{Kind: GlobalPool},
+			{Kind: Dropout, Rate: 0.1},
+			{Kind: Dense, OutC: 4},
+		},
+	}
+	model, err := Build(rng, spec, BuildOptions{DropoutRng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 2, 16, 8, 1)
+	y := model.Forward(ag.Constant(x), false)
+	if y.Value.Shape[0] != 2 || y.Value.Shape[1] != 4 {
+		t.Fatalf("output shape %v", y.Value.Shape)
+	}
+}
+
+func TestBuildQATWiresQuantizers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := &Spec{
+		Name: "qat", Task: "kws", InputH: 8, InputW: 8, InputC: 1, NumClasses: 2,
+		Blocks: []Block{
+			{Kind: Conv, KH: 3, KW: 3, OutC: 4, Stride: 1},
+			{Kind: GlobalPool},
+			{Kind: Dense, OutC: 2},
+		},
+	}
+	model, err := Build(rng, spec, BuildOptions{QuantWeightBits: 8, QuantActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 1, 8, 8, 1)
+	model.Forward(ag.Constant(x), true) // trains observers without error
+}
+
+func TestBuildRejectsTransposedConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := &Spec{
+		Name: "tc", InputH: 8, InputW: 8, InputC: 1,
+		Blocks: []Block{{Kind: TransposedConv, KH: 3, KW: 3, OutC: 4, Stride: 2}},
+	}
+	if _, err := Build(rng, spec, BuildOptions{}); err == nil {
+		t.Fatal("builder must reject transposed conv")
+	}
+}
+
+func TestSpecStringTable5Style(t *testing.T) {
+	s := kwsM().String()
+	for _, frag := range []string{"Conv2D(h:10,w:4,c:140,s:1)", "AvgPool(h:25,w:5)", "FC(c:12)"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("spec string missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestOutputDim(t *testing.T) {
+	d, err := kwsM().OutputDim()
+	if err != nil || d != 12 {
+		t.Fatalf("OutputDim = %d, err %v", d, err)
+	}
+}

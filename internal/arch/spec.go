@@ -1,0 +1,375 @@
+// Package arch defines the architecture specification language shared by
+// the whole reproduction: the trainer builds float models from a Spec, the
+// graph package lowers a Spec to the deployable int8 IR, the DNAS emits a
+// Spec as its search result, and the zoo catalogues the paper's Table 5 /
+// Figure 6 models as Specs.
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BlockKind enumerates the macro blocks the paper's models are built from.
+type BlockKind int
+
+const (
+	// Conv is a standard 2-D convolution followed by BN and ReLU.
+	Conv BlockKind = iota
+	// DSBlock is a depthwise-separable block: DW conv + BN + ReLU then
+	// 1x1 conv + BN + ReLU (the DS-CNN building block, Table 5).
+	DSBlock
+	// IBN is a MobileNetV2 inverted bottleneck: 1x1 expand + BN + ReLU6,
+	// 3x3 DW + BN + ReLU6, 1x1 linear project + BN, with a residual when
+	// stride is 1 and the channel count is preserved (Figure 6).
+	IBN
+	// AvgPool is an average-pooling block (VALID padding).
+	AvgPool
+	// MaxPool is a max-pooling block (VALID padding).
+	MaxPool
+	// GlobalPool averages over all spatial positions.
+	GlobalPool
+	// Dense is a fully connected layer (input flattened if needed).
+	Dense
+	// DenseReLU is a fully connected layer followed by ReLU (autoencoder
+	// hidden layers).
+	DenseReLU
+	// Dropout is a training-only regularizer; it is a no-op at deployment.
+	Dropout
+	// TransposedConv marks decoder layers of convolutional autoencoders.
+	// TFLM does not support it (§6.4), so specs containing it are
+	// reported as non-deployable by the runtime, exactly as in Table 3.
+	TransposedConv
+)
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	switch k {
+	case Conv:
+		return "Conv2D"
+	case DSBlock:
+		return "DSBlock"
+	case IBN:
+		return "IBN"
+	case AvgPool:
+		return "AvgPool"
+	case MaxPool:
+		return "MaxPool"
+	case GlobalPool:
+		return "GlobalPool"
+	case Dense:
+		return "Dense"
+	case DenseReLU:
+		return "DenseReLU"
+	case Dropout:
+		return "Dropout"
+	case TransposedConv:
+		return "TransposedConv"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// Block is one macro block of a network.
+type Block struct {
+	Kind   BlockKind
+	KH, KW int     // kernel size (Conv, DSBlock, IBN dw, pools, TransposedConv)
+	Stride int     // spatial stride
+	OutC   int     // output channels / dense units
+	Expand int     // IBN: number of expansion filters (absolute, as in Fig. 6)
+	Rate   float32 // Dropout rate
+}
+
+// Spec is a complete architecture: input geometry plus a block sequence.
+type Spec struct {
+	Name string
+	// Task is one of "kws", "vww", "ad".
+	Task                   string
+	InputH, InputW, InputC int
+	NumClasses             int
+	Blocks                 []Block
+	// Source records provenance: "repro" for models we construct and
+	// train, "paper" for comparison points reconstructed from published
+	// numbers.
+	Source string
+}
+
+// LayerInfo describes one primitive layer after lowering a macro block,
+// with resolved shapes and costs. Several LayerInfos may correspond to one
+// Block (e.g. a DSBlock lowers to a depthwise and a pointwise layer).
+type LayerInfo struct {
+	Name     string
+	Kind     string // "conv", "dwconv", "dense", "avgpool", "maxpool", "add", "tconv"
+	BlockIdx int
+	KH, KW   int
+	Stride   int
+	InH, InW, InC    int
+	OutH, OutW, OutC int
+	Params   int64 // weight count (excluding bias)
+	Biases   int64
+	// MACs is multiply-accumulates; Ops = 2*MACs following the paper's
+	// convention ("a single multiply-accumulate is defined as two
+	// operations").
+	MACs int64
+}
+
+// Ops returns the op count of the layer (2 per MAC).
+func (l LayerInfo) Ops() int64 { return 2 * l.MACs }
+
+// InBytes returns the int8 activation size of the layer input.
+func (l LayerInfo) InBytes() int64 { return int64(l.InH) * int64(l.InW) * int64(l.InC) }
+
+// OutBytes returns the int8 activation size of the layer output.
+func (l LayerInfo) OutBytes() int64 { return int64(l.OutH) * int64(l.OutW) * int64(l.OutC) }
+
+// Analysis summarizes a lowered Spec.
+type Analysis struct {
+	Layers []LayerInfo
+	// TotalParams counts weights (excluding biases).
+	TotalParams int64
+	TotalBiases int64
+	TotalMACs   int64
+	// PeakWorkingSetBytes is the SpArSe working-memory model used by the
+	// paper's SRAM regularizer: max over layers of (inputs + outputs) in
+	// int8 bytes. The TFLM arena planner refines this with buffer reuse.
+	PeakWorkingSetBytes int64
+	Deployable          bool
+	WhyNotDeployable    string
+}
+
+// TotalOps returns 2*TotalMACs.
+func (a Analysis) TotalOps() int64 { return 2 * a.TotalMACs }
+
+// sameOut mirrors tensor.SamePadding without importing it (avoids a cycle
+// risk and keeps arch dependency-free).
+func sameOut(in, s int) int {
+	if in%s == 0 {
+		return in / s
+	}
+	return in/s + 1
+}
+
+func validOut(in, k, s int) int {
+	o := (in-k)/s + 1
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// Analyze lowers the spec to primitive layers and computes shapes, parameter
+// counts and MACs. It returns an error for malformed specs.
+func (s *Spec) Analyze() (*Analysis, error) {
+	if s.InputH <= 0 || s.InputW <= 0 || s.InputC <= 0 {
+		return nil, fmt.Errorf("arch: %s: bad input %dx%dx%d", s.Name, s.InputH, s.InputW, s.InputC)
+	}
+	a := &Analysis{Deployable: true}
+	h, w, c := s.InputH, s.InputW, s.InputC
+	flat := false
+	addLayer := func(l LayerInfo) {
+		a.Layers = append(a.Layers, l)
+		a.TotalParams += l.Params
+		a.TotalBiases += l.Biases
+		a.TotalMACs += l.MACs
+		ws := l.InBytes() + l.OutBytes()
+		if ws > a.PeakWorkingSetBytes {
+			a.PeakWorkingSetBytes = ws
+		}
+	}
+	for i, b := range s.Blocks {
+		stride := b.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		switch b.Kind {
+		case Conv:
+			if flat {
+				return nil, fmt.Errorf("arch: %s block %d: conv after flatten", s.Name, i)
+			}
+			oh, ow := sameOut(h, stride), sameOut(w, stride)
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("conv%d", i), Kind: "conv", BlockIdx: i,
+				KH: b.KH, KW: b.KW, Stride: stride,
+				InH: h, InW: w, InC: c, OutH: oh, OutW: ow, OutC: b.OutC,
+				Params: int64(b.KH) * int64(b.KW) * int64(c) * int64(b.OutC),
+				Biases: int64(b.OutC),
+				MACs:   int64(oh) * int64(ow) * int64(b.OutC) * int64(b.KH) * int64(b.KW) * int64(c),
+			})
+			h, w, c = oh, ow, b.OutC
+		case DSBlock:
+			if flat {
+				return nil, fmt.Errorf("arch: %s block %d: dsblock after flatten", s.Name, i)
+			}
+			oh, ow := sameOut(h, stride), sameOut(w, stride)
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("ds%d_dw", i), Kind: "dwconv", BlockIdx: i,
+				KH: b.KH, KW: b.KW, Stride: stride,
+				InH: h, InW: w, InC: c, OutH: oh, OutW: ow, OutC: c,
+				Params: int64(b.KH) * int64(b.KW) * int64(c),
+				Biases: int64(c),
+				MACs:   int64(oh) * int64(ow) * int64(c) * int64(b.KH) * int64(b.KW),
+			})
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("ds%d_pw", i), Kind: "conv", BlockIdx: i,
+				KH: 1, KW: 1, Stride: 1,
+				InH: oh, InW: ow, InC: c, OutH: oh, OutW: ow, OutC: b.OutC,
+				Params: int64(c) * int64(b.OutC),
+				Biases: int64(b.OutC),
+				MACs:   int64(oh) * int64(ow) * int64(b.OutC) * int64(c),
+			})
+			h, w, c = oh, ow, b.OutC
+		case IBN:
+			if flat {
+				return nil, fmt.Errorf("arch: %s block %d: ibn after flatten", s.Name, i)
+			}
+			e := b.Expand
+			if e <= 0 {
+				return nil, fmt.Errorf("arch: %s block %d: IBN needs Expand>0", s.Name, i)
+			}
+			// 1x1 expand.
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("ibn%d_exp", i), Kind: "conv", BlockIdx: i,
+				KH: 1, KW: 1, Stride: 1,
+				InH: h, InW: w, InC: c, OutH: h, OutW: w, OutC: e,
+				Params: int64(c) * int64(e), Biases: int64(e),
+				MACs: int64(h) * int64(w) * int64(e) * int64(c),
+			})
+			// DW.
+			kh, kw := b.KH, b.KW
+			if kh == 0 {
+				kh, kw = 3, 3
+			}
+			oh, ow := sameOut(h, stride), sameOut(w, stride)
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("ibn%d_dw", i), Kind: "dwconv", BlockIdx: i,
+				KH: kh, KW: kw, Stride: stride,
+				InH: h, InW: w, InC: e, OutH: oh, OutW: ow, OutC: e,
+				Params: int64(kh) * int64(kw) * int64(e), Biases: int64(e),
+				MACs: int64(oh) * int64(ow) * int64(e) * int64(kh) * int64(kw),
+			})
+			// 1x1 project.
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("ibn%d_proj", i), Kind: "conv", BlockIdx: i,
+				KH: 1, KW: 1, Stride: 1,
+				InH: oh, InW: ow, InC: e, OutH: oh, OutW: ow, OutC: b.OutC,
+				Params: int64(e) * int64(b.OutC), Biases: int64(b.OutC),
+				MACs: int64(oh) * int64(ow) * int64(b.OutC) * int64(e),
+			})
+			if stride == 1 && b.OutC == c {
+				addLayer(LayerInfo{
+					Name: fmt.Sprintf("ibn%d_add", i), Kind: "add", BlockIdx: i,
+					InH: oh, InW: ow, InC: b.OutC, OutH: oh, OutW: ow, OutC: b.OutC,
+				})
+			}
+			h, w, c = oh, ow, b.OutC
+		case AvgPool, MaxPool:
+			if flat {
+				return nil, fmt.Errorf("arch: %s block %d: pool after flatten", s.Name, i)
+			}
+			kind := "avgpool"
+			if b.Kind == MaxPool {
+				kind = "maxpool"
+			}
+			oh, ow := validOut(h, b.KH, stride), validOut(w, b.KW, stride)
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("%s%d", kind, i), Kind: kind, BlockIdx: i,
+				KH: b.KH, KW: b.KW, Stride: stride,
+				InH: h, InW: w, InC: c, OutH: oh, OutW: ow, OutC: c,
+			})
+			h, w = oh, ow
+		case GlobalPool:
+			if flat {
+				return nil, fmt.Errorf("arch: %s block %d: pool after flatten", s.Name, i)
+			}
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("gap%d", i), Kind: "avgpool", BlockIdx: i,
+				KH: h, KW: w, Stride: 1,
+				InH: h, InW: w, InC: c, OutH: 1, OutW: 1, OutC: c,
+			})
+			h, w = 1, 1
+		case Dense, DenseReLU:
+			in := h * w * c
+			flat = true
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("fc%d", i), Kind: "dense", BlockIdx: i,
+				InH: 1, InW: 1, InC: in, OutH: 1, OutW: 1, OutC: b.OutC,
+				Params: int64(in) * int64(b.OutC), Biases: int64(b.OutC),
+				MACs:   int64(in) * int64(b.OutC),
+			})
+			h, w, c = 1, 1, b.OutC
+		case Dropout:
+			// Training-only; nothing at deployment.
+		case TransposedConv:
+			if flat {
+				return nil, fmt.Errorf("arch: %s block %d: tconv after flatten", s.Name, i)
+			}
+			oh, ow := h*stride, w*stride
+			addLayer(LayerInfo{
+				Name: fmt.Sprintf("tconv%d", i), Kind: "tconv", BlockIdx: i,
+				KH: b.KH, KW: b.KW, Stride: stride,
+				InH: h, InW: w, InC: c, OutH: oh, OutW: ow, OutC: b.OutC,
+				Params: int64(b.KH) * int64(b.KW) * int64(c) * int64(b.OutC),
+				Biases: int64(b.OutC),
+				MACs:   int64(oh) * int64(ow) * int64(b.OutC) * int64(b.KH) * int64(b.KW) * int64(c),
+			})
+			a.Deployable = false
+			a.WhyNotDeployable = "transposed convolution is not supported by TFLM (§6.4)"
+			h, w, c = oh, ow, b.OutC
+		default:
+			return nil, fmt.Errorf("arch: %s block %d: unknown kind %v", s.Name, i, b.Kind)
+		}
+	}
+	return a, nil
+}
+
+// OutputDim returns the final feature dimension of the spec (classes for
+// classifiers).
+func (s *Spec) OutputDim() (int, error) {
+	a, err := s.Analyze()
+	if err != nil {
+		return 0, err
+	}
+	last := a.Layers[len(a.Layers)-1]
+	return last.OutH * last.OutW * last.OutC, nil
+}
+
+// String renders the spec in the style of the paper's Table 5.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%dx%dx%d]: ", s.Name, s.InputH, s.InputW, s.InputC)
+	for i, blk := range s.Blocks {
+		if i > 0 {
+			b.WriteString("-")
+		}
+		switch blk.Kind {
+		case Conv:
+			fmt.Fprintf(&b, "Conv2D(h:%d,w:%d,c:%d,s:%d)", blk.KH, blk.KW, blk.OutC, max1(blk.Stride))
+		case DSBlock:
+			fmt.Fprintf(&b, "DSBlock(h:%d,w:%d,c:%d,s:%d)", blk.KH, blk.KW, blk.OutC, max1(blk.Stride))
+		case IBN:
+			fmt.Fprintf(&b, "IBN(%d,%d,s:%d)", blk.Expand, blk.OutC, max1(blk.Stride))
+		case AvgPool:
+			fmt.Fprintf(&b, "AvgPool(h:%d,w:%d)", blk.KH, blk.KW)
+		case MaxPool:
+			fmt.Fprintf(&b, "MaxPool(h:%d,w:%d)", blk.KH, blk.KW)
+		case GlobalPool:
+			b.WriteString("GlobalPool")
+		case Dense:
+			fmt.Fprintf(&b, "FC(c:%d)", blk.OutC)
+		case DenseReLU:
+			fmt.Fprintf(&b, "FC+ReLU(c:%d)", blk.OutC)
+		case Dropout:
+			fmt.Fprintf(&b, "Dropout(%.2f)", blk.Rate)
+		case TransposedConv:
+			fmt.Fprintf(&b, "TConv(h:%d,w:%d,c:%d,s:%d)", blk.KH, blk.KW, blk.OutC, max1(blk.Stride))
+		}
+	}
+	return b.String()
+}
+
+func max1(s int) int {
+	if s == 0 {
+		return 1
+	}
+	return s
+}

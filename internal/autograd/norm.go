@@ -1,0 +1,110 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"micronets/internal/tensor"
+)
+
+// BatchNormStats holds per-channel batch statistics computed by BatchNorm's
+// forward pass, so the owning layer can maintain running averages.
+type BatchNormStats struct {
+	Mean, Var *tensor.Tensor
+}
+
+// BatchNorm normalizes x over all dimensions except the last (channel)
+// dimension, then applies a per-channel affine transform gamma*xhat+beta.
+//
+// If useStats is non-nil those statistics are used (inference mode) and
+// receive no gradient; otherwise batch statistics are computed and returned.
+func BatchNorm(x, gamma, beta *Var, eps float32, useStats *BatchNormStats) (*Var, *BatchNormStats) {
+	c := x.Value.Dim(-1)
+	if gamma.Value.Len() != c || beta.Value.Len() != c {
+		panic(fmt.Sprintf("autograd: BatchNorm params len %d/%d vs channels %d",
+			gamma.Value.Len(), beta.Value.Len(), c))
+	}
+	m := x.Value.Len() / c
+	var mean, variance *tensor.Tensor
+	training := useStats == nil
+	if training {
+		mean = tensor.New(c)
+		variance = tensor.New(c)
+		for i := 0; i < x.Value.Len(); i += c {
+			for j := 0; j < c; j++ {
+				mean.Data[j] += x.Value.Data[i+j]
+			}
+		}
+		for j := 0; j < c; j++ {
+			mean.Data[j] /= float32(m)
+		}
+		for i := 0; i < x.Value.Len(); i += c {
+			for j := 0; j < c; j++ {
+				d := x.Value.Data[i+j] - mean.Data[j]
+				variance.Data[j] += d * d
+			}
+		}
+		for j := 0; j < c; j++ {
+			variance.Data[j] /= float32(m)
+		}
+	} else {
+		mean, variance = useStats.Mean, useStats.Var
+	}
+
+	invStd := tensor.New(c)
+	for j := 0; j < c; j++ {
+		invStd.Data[j] = float32(1 / math.Sqrt(float64(variance.Data[j]+eps)))
+	}
+	xhat := tensor.New(x.Value.Shape...)
+	out := tensor.New(x.Value.Shape...)
+	for i := 0; i < x.Value.Len(); i += c {
+		for j := 0; j < c; j++ {
+			xh := (x.Value.Data[i+j] - mean.Data[j]) * invStd.Data[j]
+			xhat.Data[i+j] = xh
+			out.Data[i+j] = gamma.Value.Data[j]*xh + beta.Value.Data[j]
+		}
+	}
+
+	var v *Var
+	v = newOp(out, func() {
+		// dbeta_j = Σ dy, dgamma_j = Σ dy*xhat
+		dgamma := tensor.New(c)
+		dbeta := tensor.New(c)
+		for i := 0; i < v.Grad.Len(); i += c {
+			for j := 0; j < c; j++ {
+				dgamma.Data[j] += v.Grad.Data[i+j] * xhat.Data[i+j]
+				dbeta.Data[j] += v.Grad.Data[i+j]
+			}
+		}
+		gamma.accumulate(dgamma.Reshape(gamma.Value.Shape...))
+		beta.accumulate(dbeta.Reshape(beta.Value.Shape...))
+		if !x.requiresGrad {
+			return
+		}
+		dx := tensor.New(x.Value.Shape...)
+		if training {
+			// Full batch-norm backward: statistics depend on x.
+			// dx = gamma*invStd/m * (m*dy - Σdy - xhat*Σ(dy*xhat))
+			for i := 0; i < v.Grad.Len(); i += c {
+				for j := 0; j < c; j++ {
+					g := v.Grad.Data[i+j]
+					dx.Data[i+j] = gamma.Value.Data[j] * invStd.Data[j] / float32(m) *
+						(float32(m)*g - dbeta.Data[j] - xhat.Data[i+j]*dgamma.Data[j])
+				}
+			}
+		} else {
+			// Frozen statistics: plain affine.
+			for i := 0; i < v.Grad.Len(); i += c {
+				for j := 0; j < c; j++ {
+					dx.Data[i+j] = v.Grad.Data[i+j] * gamma.Value.Data[j] * invStd.Data[j]
+				}
+			}
+		}
+		x.accumulate(dx)
+	}, x, gamma, beta)
+
+	if training {
+		return v, &BatchNormStats{Mean: mean, Var: variance}
+	}
+	return v, nil
+}

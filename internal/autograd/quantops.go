@@ -1,0 +1,111 @@
+package autograd
+
+import (
+	"math"
+
+	"micronets/internal/tensor"
+)
+
+// FakeQuant simulates affine quantization of x into 2^bits levels over
+// [lo, hi] during the forward pass, with a straight-through estimator
+// backward that passes gradients only where x fell inside the range. This
+// is the quantization-aware-training mechanism used by the paper (8-bit for
+// all models, 4-bit for the sub-byte study).
+func FakeQuant(x *Var, lo, hi float32, bits int) *Var {
+	if hi <= lo {
+		hi = lo + 1e-6
+	}
+	levels := float32(int(1)<<uint(bits)) - 1
+	// Nudge the range so zero is exactly representable, as in TFLite.
+	scale := (hi - lo) / levels
+	zero := float32(math.Round(float64(-lo / scale)))
+	if zero < 0 {
+		zero = 0
+	}
+	if zero > levels {
+		zero = levels
+	}
+	qlo := -zero * scale
+	qhi := (levels - zero) * scale
+
+	out := tensor.Apply(x.Value, func(v float32) float32 {
+		if v < qlo {
+			v = qlo
+		}
+		if v > qhi {
+			v = qhi
+		}
+		q := float32(math.Round(float64((v - qlo) / scale)))
+		return qlo + q*scale
+	})
+	var vr *Var
+	vr = newOp(out, func() {
+		g := tensor.New(x.Value.Shape...)
+		for i, v := range x.Value.Data {
+			if v >= qlo && v <= qhi {
+				g.Data[i] = vr.Grad.Data[i]
+			}
+		}
+		x.accumulate(g)
+	}, x)
+	return vr
+}
+
+// LSQQuant implements Learned Step Size Quantization (Esser et al. 2020,
+// cited in §5.1.3): the quantizer step is itself a trainable scalar
+// parameter, realizing the paper's "ranges of quantizers are learnt with
+// gradient descent".
+//
+// step must be a scalar Var; signedness picks the integer grid.
+func LSQQuant(x, step *Var, bits int, signed bool) *Var {
+	var qn, qp float32
+	if signed {
+		qn = -float32(int(1) << uint(bits-1))
+		qp = float32(int(1)<<uint(bits-1)) - 1
+	} else {
+		qn = 0
+		qp = float32(int(1)<<uint(bits)) - 1
+	}
+	s := step.Value.Data[0]
+	if s <= 1e-8 {
+		s = 1e-8
+	}
+	// Gradient scale recommended by the LSQ paper: 1/sqrt(numel * qp).
+	gscale := float32(1 / math.Sqrt(float64(x.Value.Len())*float64(qp)))
+
+	n := x.Value.Len()
+	out := tensor.New(x.Value.Shape...)
+	ratio := make([]float32, n)
+	for i, v := range x.Value.Data {
+		r := v / s
+		ratio[i] = r
+		if r < qn {
+			r = qn
+		}
+		if r > qp {
+			r = qp
+		}
+		out.Data[i] = float32(math.Round(float64(r))) * s
+	}
+	var vr *Var
+	vr = newOp(out, func() {
+		var ds float64
+		dx := tensor.New(x.Value.Shape...)
+		for i := 0; i < n; i++ {
+			g := vr.Grad.Data[i]
+			r := ratio[i]
+			switch {
+			case r <= qn:
+				ds += float64(g) * float64(qn)
+			case r >= qp:
+				ds += float64(g) * float64(qp)
+			default:
+				dx.Data[i] = g
+				ds += float64(g) * (math.Round(float64(r)) - float64(r))
+			}
+		}
+		x.accumulate(dx)
+		step.accumulate(tensor.Scalar(float32(ds) * gscale).Reshape(step.Value.Shape...))
+	}, x, step)
+	return vr
+}

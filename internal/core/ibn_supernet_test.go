@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	ag "micronets/internal/autograd"
+	"micronets/internal/arch"
+	"micronets/internal/nn"
+	"micronets/internal/tensor"
+)
+
+func tinyIBNConfig() IBNSupernetConfig {
+	return VWWSupernetConfig(16, 8, 2)
+}
+
+func TestIBNSupernetForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := NewIBNSupernet(rng, tinyIBNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ag.Constant(tensor.Randn(rng, 1, 2, 16, 16, 1))
+	logits, res := s.Forward(x, false, rng, 1)
+	if logits.Value.Shape[0] != 2 || logits.Value.Shape[1] != 2 {
+		t.Fatalf("logits shape %v", logits.Value.Shape)
+	}
+	if res.ParamCount.Scalar() <= 0 || res.OpCount.Scalar() <= 0 {
+		t.Fatal("resources must be positive")
+	}
+}
+
+func TestIBNResourceModelMatchesDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := tinyIBNConfig()
+	s, err := NewIBNSupernet(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force all decisions one-hot to the largest option.
+	force := func(d *DecisionNode) { d.Alpha.Value.Data[d.K-1] = 25 }
+	force(s.stemNode)
+	for i := range s.expNode {
+		force(s.expNode[i])
+		force(s.outNode[i])
+	}
+	force(s.headNode)
+	x := ag.Constant(tensor.Randn(rng, 1, 1, 16, 16, 1))
+	_, res := s.Forward(x, false, nil, 0.05)
+	spec := s.Discretize("check")
+	a, err := spec.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotParams := float64(res.ParamCount.Scalar())
+	// The discrete analyzer counts the residual add ops (zero params), so
+	// parameters must agree tightly.
+	rel := (gotParams - float64(a.TotalParams)) / float64(a.TotalParams)
+	if rel < -0.02 || rel > 0.02 {
+		t.Fatalf("IBN differentiable params %.0f vs discrete %d", gotParams, a.TotalParams)
+	}
+	gotOps := float64(res.OpCount.Scalar())
+	relOps := (gotOps - float64(a.TotalOps())) / float64(a.TotalOps())
+	if relOps < -0.02 || relOps > 0.02 {
+		t.Fatalf("IBN differentiable ops %.0f vs discrete %d", gotOps, a.TotalOps())
+	}
+}
+
+func TestIBNPenaltyShrinksWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := NewIBNSupernet(rng, tinyIBNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := Constraints{MaxParams: 10, LambdaParams: 10}
+	x := ag.Constant(tensor.Randn(rng, 1, 2, 16, 16, 1))
+	before := s.headNode.Probabilities()[0]
+	opt := nn.NewSGD(0, 0)
+	for i := 0; i < 8; i++ {
+		_, res := s.Forward(x, false, rng, 2)
+		ag.Backward(cons.Penalty(res))
+		opt.Step(s.ArchParams(), 0.5)
+	}
+	after := s.headNode.Probabilities()[0]
+	if after <= before {
+		t.Fatalf("head narrow-width probability must rise: %v -> %v", before, after)
+	}
+}
+
+func TestIBNDiscretizeValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, err := NewIBNSupernet(rng, tinyIBNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := s.Discretize("vww-search")
+	a, err := spec.Analyze()
+	if err != nil {
+		t.Fatalf("discretized VWW spec invalid: %v", err)
+	}
+	if !a.Deployable {
+		t.Fatal("VWW spec must be deployable")
+	}
+	// Structure: stem conv + IBNs + head conv + pool + fc.
+	if spec.Blocks[0].Kind != arch.Conv || spec.Blocks[len(spec.Blocks)-1].Kind != arch.Dense {
+		t.Fatal("discretized structure wrong")
+	}
+	ibnCount := 0
+	for _, b := range spec.Blocks {
+		if b.Kind == arch.IBN {
+			ibnCount++
+		}
+	}
+	if ibnCount != len(tinyIBNConfig().Blocks) {
+		t.Fatalf("IBN count %d", ibnCount)
+	}
+}
+
+func TestVWWSupernetConfigOptions(t *testing.T) {
+	cfg := VWWSupernetConfig(50, 8, 10)
+	// §5.2.1: widths searched in 10 steps (10%..100%).
+	if len(cfg.StemOptions) < 5 {
+		t.Fatalf("too few stem options: %v", cfg.StemOptions)
+	}
+	for _, b := range cfg.Blocks {
+		if b.ExpandOptions[len(b.ExpandOptions)-1] != b.MaxExpand {
+			t.Fatal("expand options must end at max")
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"micronets/internal/arch"
+	"micronets/internal/tensor"
+)
+
+// LowerOptions configures structural lowering.
+type LowerOptions struct {
+	// WeightBits / ActBits select the datatype study (8 default, 4 for the
+	// sub-byte kernels of §5.1.3).
+	WeightBits int
+	ActBits    int
+	// AppendSoftmax adds a softmax head for classifiers.
+	AppendSoftmax bool
+}
+
+// FromSpec lowers an architecture to a deployable Model with synthetic
+// (random) weights and plausible quantization parameters. This is the path
+// used for hardware characterization (Figures 3-5), where only shapes and
+// datatypes matter; trained exports go through Export.
+func FromSpec(spec *arch.Spec, rng *rand.Rand, opts LowerOptions) (*Model, error) {
+	if opts.WeightBits == 0 {
+		opts.WeightBits = 8
+	}
+	if opts.ActBits == 0 {
+		opts.ActBits = 8
+	}
+	b := newBuilder(spec.Name, opts)
+	in := b.addTensor("input", spec.InputH, spec.InputW, spec.InputC, 0.05, -128)
+	b.model.Input = in
+
+	cur := in
+	for i, blk := range spec.Blocks {
+		stride := blk.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		name := fmt.Sprintf("b%d", i)
+		switch blk.Kind {
+		case arch.Conv:
+			cur = b.conv(name, cur, blk.KH, blk.KW, stride, blk.OutC, rng, false)
+		case arch.DSBlock:
+			cur = b.dwconv(name+"_dw", cur, blk.KH, blk.KW, stride, rng)
+			cur = b.conv(name+"_pw", cur, 1, 1, 1, blk.OutC, rng, false)
+		case arch.IBN:
+			kh, kw := blk.KH, blk.KW
+			if kh == 0 {
+				kh, kw = 3, 3
+			}
+			inC := b.model.Tensors[cur].C
+			save := cur
+			cur = b.conv(name+"_exp", cur, 1, 1, 1, blk.Expand, rng, false)
+			cur = b.dwconv(name+"_dw", cur, kh, kw, stride, rng)
+			cur = b.conv(name+"_proj", cur, 1, 1, 1, blk.OutC, rng, true)
+			if stride == 1 && blk.OutC == inC {
+				cur = b.add(name+"_add", save, cur)
+			}
+		case arch.AvgPool, arch.MaxPool:
+			kind := OpAvgPool
+			if blk.Kind == arch.MaxPool {
+				kind = OpMaxPool
+			}
+			cur = b.pool(name, kind, cur, blk.KH, blk.KW, stride)
+		case arch.GlobalPool:
+			t := b.model.Tensors[cur]
+			cur = b.pool(name, OpAvgPool, cur, t.H, t.W, 1)
+		case arch.Dense, arch.DenseReLU:
+			cur = b.dense(name, cur, blk.OutC, rng, blk.Kind == arch.DenseReLU)
+		case arch.Dropout:
+			// deployment no-op
+		case arch.TransposedConv:
+			cur = b.tconv(name, cur, blk.KH, blk.KW, stride, blk.OutC, rng)
+		default:
+			return nil, fmt.Errorf("graph: unsupported block kind %v", blk.Kind)
+		}
+	}
+	if opts.AppendSoftmax && spec.NumClasses > 1 {
+		cur = b.softmax("softmax", cur)
+	}
+	b.model.Output = cur
+	if err := b.model.Validate(); err != nil {
+		return nil, err
+	}
+	return b.model, nil
+}
+
+type builder struct {
+	model *Model
+	opts  LowerOptions
+}
+
+func newBuilder(name string, opts LowerOptions) *builder {
+	return &builder{model: &Model{Name: name}, opts: opts}
+}
+
+func (b *builder) addTensor(name string, h, w, c int, scale float32, zp int32) int {
+	t := &Tensor{
+		ID: len(b.model.Tensors), Name: name, H: h, W: w, C: c,
+		Scale: scale, ZeroPoint: zp, Bits: b.opts.ActBits,
+	}
+	b.model.Tensors = append(b.model.Tensors, t)
+	return t.ID
+}
+
+func randWeights(rng *rand.Rand, n int) []int8 {
+	w := make([]int8, n)
+	for i := range w {
+		w[i] = int8(rng.Intn(255) - 127)
+	}
+	return w
+}
+
+func randScales(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = 0.002 + rng.Float32()*0.004
+	}
+	return s
+}
+
+func clampRange(bits int) (int32, int32) {
+	if bits == 4 {
+		return -8, 7
+	}
+	return -128, 127
+}
+
+func (b *builder) outTensorFor(in int, oh, ow, oc int, name string) int {
+	// Activation tensors after fused ReLU: zero point at the low end.
+	lo, _ := clampRange(b.opts.ActBits)
+	return b.addTensor(name, oh, ow, oc, 0.03, lo)
+}
+
+func (b *builder) conv(name string, in int, kh, kw, stride, outC int, rng *rand.Rand, linear bool) int {
+	it := b.model.Tensors[in]
+	spec := tensor.Same(kh, kw, stride, stride, it.H, it.W)
+	oh, ow := spec.OutSize(it.H, it.W)
+	out := b.outTensorFor(in, oh, ow, outC, name+"_out")
+	lo, hi := clampRange(b.opts.ActBits)
+	op := &Op{
+		Kind: OpConv2D, Name: name, Inputs: []int{in}, Output: out,
+		KH: kh, KW: kw, SH: stride, SW: stride,
+		PadTop: spec.PadTop, PadLeft: spec.PadLeft, PadBottom: spec.PadBottom, PadRight: spec.PadRight,
+		Weights: randWeights(rng, kh*kw*it.C*outC), WeightBits: b.opts.WeightBits,
+		WeightScales: randScales(rng, outC), Bias: make([]int32, outC),
+		ClampMin: lo, ClampMax: hi,
+	}
+	if linear {
+		// Linear bottleneck output: symmetric-ish range.
+		b.model.Tensors[out].ZeroPoint = 0
+	}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}
+
+func (b *builder) dwconv(name string, in int, kh, kw, stride int, rng *rand.Rand) int {
+	it := b.model.Tensors[in]
+	spec := tensor.Same(kh, kw, stride, stride, it.H, it.W)
+	oh, ow := spec.OutSize(it.H, it.W)
+	out := b.outTensorFor(in, oh, ow, it.C, name+"_out")
+	lo, hi := clampRange(b.opts.ActBits)
+	op := &Op{
+		Kind: OpDWConv2D, Name: name, Inputs: []int{in}, Output: out,
+		KH: kh, KW: kw, SH: stride, SW: stride,
+		PadTop: spec.PadTop, PadLeft: spec.PadLeft, PadBottom: spec.PadBottom, PadRight: spec.PadRight,
+		Weights: randWeights(rng, kh*kw*it.C), WeightBits: b.opts.WeightBits,
+		WeightScales: randScales(rng, it.C), Bias: make([]int32, it.C),
+		ClampMin: lo, ClampMax: hi,
+	}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}
+
+func (b *builder) dense(name string, in int, outC int, rng *rand.Rand, relu bool) int {
+	it := b.model.Tensors[in]
+	out := b.addTensor(name+"_out", 1, 1, outC, 0.1, 0)
+	lo, hi := clampRange(b.opts.ActBits)
+	if relu {
+		b.model.Tensors[out].ZeroPoint = lo
+	}
+	op := &Op{
+		Kind: OpDense, Name: name, Inputs: []int{in}, Output: out,
+		Weights: randWeights(rng, it.Elems()*outC), WeightBits: b.opts.WeightBits,
+		WeightScales: randScales(rng, outC), Bias: make([]int32, outC),
+		ClampMin: lo, ClampMax: hi,
+	}
+	if !relu {
+		op.ClampMin, op.ClampMax = lo, hi
+	}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}
+
+func (b *builder) pool(name string, kind OpKind, in int, kh, kw, stride int) int {
+	it := b.model.Tensors[in]
+	oh := (it.H-kh)/stride + 1
+	ow := (it.W-kw)/stride + 1
+	if oh < 1 {
+		oh = 1
+	}
+	if ow < 1 {
+		ow = 1
+	}
+	out := b.addTensor(name+"_out", oh, ow, it.C, it.Scale, it.ZeroPoint)
+	lo, hi := clampRange(b.opts.ActBits)
+	op := &Op{
+		Kind: kind, Name: name, Inputs: []int{in}, Output: out,
+		KH: kh, KW: kw, SH: stride, SW: stride,
+		ClampMin: lo, ClampMax: hi,
+	}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}
+
+func (b *builder) add(name string, a, c int) int {
+	at := b.model.Tensors[a]
+	out := b.addTensor(name+"_out", at.H, at.W, at.C, 0.05, 0)
+	lo, hi := clampRange(b.opts.ActBits)
+	op := &Op{
+		Kind: OpAdd, Name: name, Inputs: []int{a, c}, Output: out,
+		ClampMin: lo, ClampMax: hi,
+	}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}
+
+func (b *builder) softmax(name string, in int) int {
+	it := b.model.Tensors[in]
+	// TFLite softmax output: scale 1/256, zero point -128.
+	out := b.addTensor(name+"_out", it.H, it.W, it.C, 1.0/256, -128)
+	b.model.Tensors[out].Bits = 8
+	op := &Op{Kind: OpSoftmax, Name: name, Inputs: []int{in}, Output: out,
+		ClampMin: -128, ClampMax: 127}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}
+
+func (b *builder) tconv(name string, in int, kh, kw, stride, outC int, rng *rand.Rand) int {
+	it := b.model.Tensors[in]
+	out := b.addTensor(name+"_out", it.H*stride, it.W*stride, outC, 0.03, 0)
+	op := &Op{
+		Kind: OpTransposedConv, Name: name, Inputs: []int{in}, Output: out,
+		KH: kh, KW: kw, SH: stride, SW: stride,
+		Weights: randWeights(rng, kh*kw*it.C*outC), WeightBits: b.opts.WeightBits,
+		WeightScales: randScales(rng, outC), Bias: make([]int32, outC),
+		ClampMin: -128, ClampMax: 127,
+	}
+	b.model.Ops = append(b.model.Ops, op)
+	return out
+}

@@ -1,0 +1,299 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization implements the ".mnet" container — the reproduction's
+// analogue of the .tflite flatbuffer. The on-disk size of this container is
+// what the memory reports treat as the model's flash footprint.
+
+const (
+	magic   = "MNET"
+	version = uint32(2)
+)
+
+// Save writes the model to w.
+func Save(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := writeAll(bw,
+		version,
+		uint32(len(m.Name)),
+	); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(m.Name); err != nil {
+		return err
+	}
+	if err := writeAll(bw, uint32(m.Input), uint32(m.Output), uint32(len(m.Tensors)), uint32(len(m.Ops))); err != nil {
+		return err
+	}
+	for _, t := range m.Tensors {
+		if err := writeString(bw, t.Name); err != nil {
+			return err
+		}
+		if err := writeAll(bw, uint32(t.H), uint32(t.W), uint32(t.C), t.Scale, t.ZeroPoint, uint8(t.Bits)); err != nil {
+			return err
+		}
+	}
+	for _, o := range m.Ops {
+		if err := writeAll(bw, uint8(o.Kind)); err != nil {
+			return err
+		}
+		if err := writeString(bw, o.Name); err != nil {
+			return err
+		}
+		if err := writeAll(bw, uint8(len(o.Inputs))); err != nil {
+			return err
+		}
+		for _, in := range o.Inputs {
+			if err := writeAll(bw, uint32(in)); err != nil {
+				return err
+			}
+		}
+		if err := writeAll(bw,
+			uint32(o.Output),
+			uint16(o.KH), uint16(o.KW), uint16(o.SH), uint16(o.SW),
+			uint16(o.PadTop), uint16(o.PadLeft), uint16(o.PadBottom), uint16(o.PadRight),
+			uint8(o.WeightBits),
+		); err != nil {
+			return err
+		}
+		// Weights are stored packed for int4.
+		packed := o.Weights
+		if o.WeightBits == 4 {
+			packed = bytesToInt8(PackInt4(o.Weights))
+		}
+		if err := writeAll(bw, uint32(len(o.Weights)), uint32(len(packed))); err != nil {
+			return err
+		}
+		if err := writeAll(bw, packed); err != nil {
+			return err
+		}
+		if err := writeAll(bw, uint32(len(o.WeightScales)), o.WeightScales); err != nil {
+			return err
+		}
+		if err := writeAll(bw, uint32(len(o.Bias)), o.Bias); err != nil {
+			return err
+		}
+		if err := writeAll(bw, o.ClampMin, o.ClampMax); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", head)
+	}
+	var ver uint32
+	if err := readAll(br, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("graph: unsupported version %d", ver)
+	}
+	m := &Model{}
+	var err error
+	if m.Name, err = readString(br); err != nil {
+		return nil, err
+	}
+	var in, out, nt, no uint32
+	if err := readAll(br, &in, &out, &nt, &no); err != nil {
+		return nil, err
+	}
+	m.Input, m.Output = int(in), int(out)
+	for i := 0; i < int(nt); i++ {
+		t := &Tensor{ID: i}
+		if t.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		var h, w, c uint32
+		var bits uint8
+		if err := readAll(br, &h, &w, &c, &t.Scale, &t.ZeroPoint, &bits); err != nil {
+			return nil, err
+		}
+		t.H, t.W, t.C, t.Bits = int(h), int(w), int(c), int(bits)
+		m.Tensors = append(m.Tensors, t)
+	}
+	for i := 0; i < int(no); i++ {
+		o := &Op{}
+		var kind uint8
+		if err := readAll(br, &kind); err != nil {
+			return nil, err
+		}
+		o.Kind = OpKind(kind)
+		if o.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		var nin uint8
+		if err := readAll(br, &nin); err != nil {
+			return nil, err
+		}
+		for j := 0; j < int(nin); j++ {
+			var id uint32
+			if err := readAll(br, &id); err != nil {
+				return nil, err
+			}
+			o.Inputs = append(o.Inputs, int(id))
+		}
+		var outID uint32
+		var kh, kw, sh, sw, pt, pl, pb, pr uint16
+		var wbits uint8
+		if err := readAll(br, &outID, &kh, &kw, &sh, &sw, &pt, &pl, &pb, &pr, &wbits); err != nil {
+			return nil, err
+		}
+		o.Output = int(outID)
+		o.KH, o.KW, o.SH, o.SW = int(kh), int(kw), int(sh), int(sw)
+		o.PadTop, o.PadLeft, o.PadBottom, o.PadRight = int(pt), int(pl), int(pb), int(pr)
+		o.WeightBits = int(wbits)
+		var nw, npacked uint32
+		if err := readAll(br, &nw, &npacked); err != nil {
+			return nil, err
+		}
+		packed := make([]int8, npacked)
+		if err := readAll(br, packed); err != nil {
+			return nil, err
+		}
+		if o.WeightBits == 4 {
+			o.Weights = UnpackInt4(int8ToBytes(packed), int(nw))
+		} else {
+			o.Weights = packed
+		}
+		var ns uint32
+		if err := readAll(br, &ns); err != nil {
+			return nil, err
+		}
+		o.WeightScales = make([]float32, ns)
+		if err := readAll(br, o.WeightScales); err != nil {
+			return nil, err
+		}
+		var nb uint32
+		if err := readAll(br, &nb); err != nil {
+			return nil, err
+		}
+		o.Bias = make([]int32, nb)
+		if err := readAll(br, o.Bias); err != nil {
+			return nil, err
+		}
+		if err := readAll(br, &o.ClampMin, &o.ClampMax); err != nil {
+			return nil, err
+		}
+		m.Ops = append(m.Ops, o)
+	}
+	return m, m.Validate()
+}
+
+// SerializedSize returns the exact byte size Save would produce.
+func SerializedSize(m *Model) int {
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		return -1
+	}
+	return buf.Len()
+}
+
+// PackInt4 packs int4 values (each in [-8,7]) two per byte, low nibble
+// first — the layout the paper's optimized sub-byte kernels use.
+func PackInt4(vals []int8) []byte {
+	out := make([]byte, (len(vals)+1)/2)
+	for i, v := range vals {
+		nib := byte(v&0x0f)
+		if i%2 == 0 {
+			out[i/2] = nib
+		} else {
+			out[i/2] |= nib << 4
+		}
+	}
+	return out
+}
+
+// UnpackInt4 is the inverse of PackInt4, producing n sign-extended values.
+func UnpackInt4(packed []byte, n int) []int8 {
+	out := make([]int8, n)
+	for i := 0; i < n; i++ {
+		var nib byte
+		if i%2 == 0 {
+			nib = packed[i/2] & 0x0f
+		} else {
+			nib = packed[i/2] >> 4
+		}
+		v := int8(nib)
+		if v >= 8 {
+			v -= 16
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func bytesToInt8(b []byte) []int8 {
+	out := make([]int8, len(b))
+	for i, v := range b {
+		out[i] = int8(v)
+	}
+	return out
+}
+
+func int8ToBytes(b []int8) []byte {
+	out := make([]byte, len(b))
+	for i, v := range b {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeAll(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := readAll(r, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("graph: string length %d too large", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeAll(w io.Writer, vals ...any) error {
+	for _, v := range vals {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAll(r io.Reader, vals ...any) error {
+	for _, v := range vals {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"micronets/internal/graph"
+)
+
+// Ctx carries the per-op precomputed requantization multipliers; the tflm
+// interpreter builds one per op at AllocateTensors time (this is part of
+// what TFLM's "persistent buffers" hold, Figure 2).
+type Ctx struct {
+	Mults []QuantizedMultiplier
+}
+
+// PrepareConv precomputes per-channel multipliers for a conv/dense op:
+// effective scale = inScale * wScale[c] / outScale.
+func PrepareConv(m *graph.Model, op *graph.Op) *Ctx {
+	in := m.Tensors[op.Inputs[0]]
+	out := m.Tensors[op.Output]
+	ctx := &Ctx{Mults: make([]QuantizedMultiplier, len(op.WeightScales))}
+	for c, ws := range op.WeightScales {
+		ctx.Mults[c] = QuantizeMultiplier(float64(in.Scale) * float64(ws) / float64(out.Scale))
+	}
+	return ctx
+}
+
+// Conv2D executes a quantized standard convolution. Weight layout is
+// [kh][kw][inC][outC]; activations are NHWC with N=1.
+func Conv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+	it := m.Tensors[op.Inputs[0]]
+	ot := m.Tensors[op.Output]
+	inZp := it.ZeroPoint
+	outZp := ot.ZeroPoint
+	h, w, inC := it.H, it.W, it.C
+	oh, ow, outC := ot.H, ot.W, ot.C
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			outBase := (oy*ow + ox) * outC
+			for oc := 0; oc < outC; oc++ {
+				acc := op.Bias[oc]
+				for ky := 0; ky < op.KH; ky++ {
+					iy := oy*op.SH + ky - op.PadTop
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < op.KW; kx++ {
+						ix := ox*op.SW + kx - op.PadLeft
+						if ix < 0 || ix >= w {
+							continue
+						}
+						inBase := (iy*w + ix) * inC
+						wBase := ((ky*op.KW+kx)*inC)*outC + oc
+						for ic := 0; ic < inC; ic++ {
+							acc += (int32(in[inBase+ic]) - inZp) * int32(op.Weights[wBase+ic*outC])
+						}
+					}
+				}
+				v := ctx.Mults[oc].Apply(acc) + outZp
+				out[outBase+oc] = int8(clamp32(v, op.ClampMin, op.ClampMax))
+			}
+		}
+	}
+}
+
+// DWConv2D executes a quantized depthwise convolution (multiplier 1).
+// Weight layout is [kh][kw][c].
+func DWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+	it := m.Tensors[op.Inputs[0]]
+	ot := m.Tensors[op.Output]
+	inZp := it.ZeroPoint
+	outZp := ot.ZeroPoint
+	h, w, c := it.H, it.W, it.C
+	oh, ow := ot.H, ot.W
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			outBase := (oy*ow + ox) * c
+			for ch := 0; ch < c; ch++ {
+				acc := op.Bias[ch]
+				for ky := 0; ky < op.KH; ky++ {
+					iy := oy*op.SH + ky - op.PadTop
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < op.KW; kx++ {
+						ix := ox*op.SW + kx - op.PadLeft
+						if ix < 0 || ix >= w {
+							continue
+						}
+						acc += (int32(in[(iy*w+ix)*c+ch]) - inZp) * int32(op.Weights[(ky*op.KW+kx)*c+ch])
+					}
+				}
+				v := ctx.Mults[ch].Apply(acc) + outZp
+				out[outBase+ch] = int8(clamp32(v, op.ClampMin, op.ClampMax))
+			}
+		}
+	}
+}
+
+// Dense executes a quantized fully connected layer. Weight layout is
+// [in][out].
+func Dense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+	it := m.Tensors[op.Inputs[0]]
+	ot := m.Tensors[op.Output]
+	inZp := it.ZeroPoint
+	outZp := ot.ZeroPoint
+	n := it.Elems()
+	outC := ot.C
+	for oc := 0; oc < outC; oc++ {
+		acc := op.Bias[oc]
+		for i := 0; i < n; i++ {
+			acc += (int32(in[i]) - inZp) * int32(op.Weights[i*outC+oc])
+		}
+		v := ctx.Mults[oc].Apply(acc) + outZp
+		out[oc] = int8(clamp32(v, op.ClampMin, op.ClampMax))
+	}
+}
+
+// AvgPool executes average pooling; input and output share quantization
+// parameters (as arranged by the exporter), so only integer averaging with
+// round-to-nearest is required.
+func AvgPool(m *graph.Model, op *graph.Op, in, out []int8) {
+	it := m.Tensors[op.Inputs[0]]
+	ot := m.Tensors[op.Output]
+	h, w, c := it.H, it.W, it.C
+	oh, ow := ot.H, ot.W
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			outBase := (oy*ow + ox) * c
+			for ch := 0; ch < c; ch++ {
+				var sum, count int32
+				for ky := 0; ky < op.KH; ky++ {
+					iy := oy*op.SH + ky
+					if iy >= h {
+						continue
+					}
+					for kx := 0; kx < op.KW; kx++ {
+						ix := ox*op.SW + kx
+						if ix >= w {
+							continue
+						}
+						sum += int32(in[(iy*w+ix)*c+ch])
+						count++
+					}
+				}
+				if count == 0 {
+					count = 1
+				}
+				var v int32
+				if sum >= 0 {
+					v = (sum + count/2) / count
+				} else {
+					v = (sum - count/2) / count
+				}
+				out[outBase+ch] = int8(clamp32(v, op.ClampMin, op.ClampMax))
+			}
+		}
+	}
+}
+
+// MaxPool executes max pooling.
+func MaxPool(m *graph.Model, op *graph.Op, in, out []int8) {
+	it := m.Tensors[op.Inputs[0]]
+	ot := m.Tensors[op.Output]
+	h, w, c := it.H, it.W, it.C
+	oh, ow := ot.H, ot.W
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			outBase := (oy*ow + ox) * c
+			for ch := 0; ch < c; ch++ {
+				best := int32(-128)
+				for ky := 0; ky < op.KH; ky++ {
+					iy := oy*op.SH + ky
+					if iy >= h {
+						continue
+					}
+					for kx := 0; kx < op.KW; kx++ {
+						ix := ox*op.SW + kx
+						if ix >= w {
+							continue
+						}
+						if v := int32(in[(iy*w+ix)*c+ch]); v > best {
+							best = v
+						}
+					}
+				}
+				out[outBase+ch] = int8(clamp32(best, op.ClampMin, op.ClampMax))
+			}
+		}
+	}
+}
+
+// Add executes a residual addition, rescaling both inputs to the output
+// scale (double-precision variant of TFLite's ADD).
+func Add(m *graph.Model, op *graph.Op, a, b, out []int8) {
+	at := m.Tensors[op.Inputs[0]]
+	bt := m.Tensors[op.Inputs[1]]
+	ot := m.Tensors[op.Output]
+	sa := float64(at.Scale) / float64(ot.Scale)
+	sb := float64(bt.Scale) / float64(ot.Scale)
+	for i := range out {
+		va := float64(int32(a[i])-at.ZeroPoint) * sa
+		vb := float64(int32(b[i])-bt.ZeroPoint) * sb
+		v := int32(math.Round(va+vb)) + ot.ZeroPoint
+		out[i] = int8(clamp32(v, op.ClampMin, op.ClampMax))
+	}
+}
+
+// Softmax dequantizes the logits, computes a stable softmax, and emits
+// int8 with the standard TFLite output quantization (scale 1/256, zp -128).
+func Softmax(m *graph.Model, op *graph.Op, in, out []int8) {
+	it := m.Tensors[op.Inputs[0]]
+	ot := m.Tensors[op.Output]
+	n := it.Elems()
+	maxv := math.Inf(-1)
+	logits := make([]float64, n)
+	for i := 0; i < n; i++ {
+		logits[i] = float64(it.Scale) * float64(int32(in[i])-it.ZeroPoint)
+		if logits[i] > maxv {
+			maxv = logits[i]
+		}
+	}
+	var sum float64
+	for i := range logits {
+		logits[i] = math.Exp(logits[i] - maxv)
+		sum += logits[i]
+	}
+	for i := range logits {
+		p := logits[i] / sum
+		q := int32(math.Round(p/float64(ot.Scale))) + ot.ZeroPoint
+		out[i] = int8(clamp32(q, op.ClampMin, op.ClampMax))
+	}
+}
+
+// Run dispatches one op. It returns an error for ops the runtime does not
+// implement (TransposedConv), which is how non-deployability surfaces.
+func Run(m *graph.Model, op *graph.Op, ctx *Ctx, bufs [][]int8) error {
+	out := bufs[op.Output]
+	switch op.Kind {
+	case graph.OpConv2D:
+		Conv2D(m, op, ctx, bufs[op.Inputs[0]], out)
+	case graph.OpDWConv2D:
+		DWConv2D(m, op, ctx, bufs[op.Inputs[0]], out)
+	case graph.OpDense:
+		Dense(m, op, ctx, bufs[op.Inputs[0]], out)
+	case graph.OpAvgPool:
+		AvgPool(m, op, bufs[op.Inputs[0]], out)
+	case graph.OpMaxPool:
+		MaxPool(m, op, bufs[op.Inputs[0]], out)
+	case graph.OpAdd:
+		Add(m, op, bufs[op.Inputs[0]], bufs[op.Inputs[1]], out)
+	case graph.OpSoftmax:
+		Softmax(m, op, bufs[op.Inputs[0]], out)
+	default:
+		return fmt.Errorf("kernels: op %s (%s) is not supported by the runtime", op.Name, op.Kind)
+	}
+	return nil
+}

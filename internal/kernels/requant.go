@@ -1,0 +1,81 @@
+// Package kernels implements the int8 (and emulated int4) reference
+// operator kernels used by the tflm interpreter — the reproduction of the
+// CMSIS-NN kernel layer, including its fixed-point requantization scheme
+// and the sub-byte kernels the paper adds in §5.1.3.
+package kernels
+
+import "math"
+
+// QuantizedMultiplier is the fixed-point representation of a positive real
+// multiplier m = m0 * 2^shift with m0 a Q31 value in [0.5, 1), exactly the
+// TFLite/CMSIS-NN scheme.
+type QuantizedMultiplier struct {
+	M0    int32
+	Shift int
+}
+
+// QuantizeMultiplier converts a double multiplier into fixed point.
+func QuantizeMultiplier(m float64) QuantizedMultiplier {
+	if m <= 0 {
+		return QuantizedMultiplier{M0: 0, Shift: 0}
+	}
+	frac, exp := math.Frexp(m) // m = frac * 2^exp, frac in [0.5, 1)
+	q := int64(math.Round(frac * (1 << 31)))
+	if q == 1<<31 { // rounding overflow: 0.5 ulp above max
+		q /= 2
+		exp++
+	}
+	return QuantizedMultiplier{M0: int32(q), Shift: exp}
+}
+
+// Apply computes round(x * m) using only integer arithmetic, following
+// TFLite's MultiplyByQuantizedMultiplier: an optional left shift, a
+// saturating rounding doubling high multiply by the Q31 mantissa, then a
+// rounding right shift.
+func (q QuantizedMultiplier) Apply(x int32) int32 {
+	leftShift, rightShift := 0, 0
+	if q.Shift > 0 {
+		leftShift = q.Shift
+	} else {
+		rightShift = -q.Shift
+	}
+	v := int64(x) << uint(leftShift)
+	// SaturatingRoundingDoublingHighMul.
+	prod := v * int64(q.M0)
+	nudge := int64(1) << 30
+	if prod < 0 {
+		nudge = 1 - nudge
+	}
+	high := int64((prod + nudge) >> 31)
+	if rightShift == 0 {
+		return int32(high)
+	}
+	// RoundingDivideByPOT.
+	mask := (int64(1) << uint(rightShift)) - 1
+	remainder := high & mask
+	threshold := mask >> 1
+	if high < 0 {
+		threshold++
+	}
+	res := high >> uint(rightShift)
+	if remainder > threshold {
+		res++
+	}
+	return int32(res)
+}
+
+// Float returns the real value the fixed-point multiplier represents;
+// useful for tests.
+func (q QuantizedMultiplier) Float() float64 {
+	return float64(q.M0) / float64(int64(1)<<31) * math.Pow(2, float64(q.Shift))
+}
+
+func clamp32(v, lo, hi int32) int32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

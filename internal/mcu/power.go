@@ -1,0 +1,92 @@
+package mcu
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"micronets/internal/graph"
+)
+
+// The paper's §3.4 finding: "there is little variance in power consumption
+// between models (σ/µ = 0.00731), i.e. power is essentially independent of
+// model size or architecture." We model active power as the device constant
+// with a deterministic per-model perturbation of exactly that magnitude.
+const powerSigmaOverMu = 0.00731
+
+// ActivePowerMW returns the board's active power draw while running the
+// given model, with the (tiny) model-dependent variation observed in
+// Figure 5.
+func ActivePowerMW(m *graph.Model, dev *Device) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(dev.Name))
+	h.Write([]byte(m.Name))
+	var b [8]byte
+	n := m.TotalMACs()
+	for i := range b {
+		b[i] = byte(n >> (8 * i))
+	}
+	h.Write(b[:])
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return dev.ActiveMW * (1 + rng.NormFloat64()*powerSigmaOverMu)
+}
+
+// EnergyPerInferenceMJ returns the energy of one inference in millijoules:
+// since power is constant, energy is power times latency (§3.4).
+func EnergyPerInferenceMJ(m *graph.Model, dev *Device) float64 {
+	return ActivePowerMW(m, dev) * Latency(m, dev) // mW * s = mJ
+}
+
+// DutyCycleAveragePowerMW returns the average power of an application that
+// runs one inference every periodS seconds and deep-sleeps in between —
+// the Figure 9 experiment ("a tinyML application with a duty cycle of one
+// frame per second").
+func DutyCycleAveragePowerMW(m *graph.Model, dev *Device, periodS float64) float64 {
+	lat := Latency(m, dev)
+	if lat >= periodS {
+		return ActivePowerMW(m, dev)
+	}
+	active := ActivePowerMW(m, dev) * lat
+	sleep := dev.SleepMW * (periodS - lat)
+	return (active + sleep) / periodS
+}
+
+// TracePoint is one sample of a simulated Otii current trace.
+type TracePoint struct {
+	TimeS     float64
+	CurrentMA float64
+}
+
+// CurrentTrace synthesizes an Otii Arc-style current-vs-time trace for an
+// application invoking the model once per periodS, sampled every dtS, for
+// the given duration. Active phases carry measurement noise; sleep phases
+// drop to the deep-sleep floor (Figure 9).
+func CurrentTrace(m *graph.Model, dev *Device, periodS, dtS, durationS float64, rng *rand.Rand) []TracePoint {
+	lat := Latency(m, dev)
+	activeMA := ActivePowerMW(m, dev) / dev.SupplyVoltage
+	sleepMA := dev.SleepMW / dev.SupplyVoltage
+	n := int(durationS / dtS)
+	out := make([]TracePoint, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * dtS
+		phase := math.Mod(t, periodS)
+		ma := sleepMA
+		if phase < lat {
+			ma = activeMA * (1 + rng.NormFloat64()*0.01)
+		}
+		out = append(out, TracePoint{TimeS: t, CurrentMA: ma})
+	}
+	return out
+}
+
+// AverageCurrentMA integrates a trace to its mean current.
+func AverageCurrentMA(trace []TracePoint) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range trace {
+		s += p.CurrentMA
+	}
+	return s / float64(len(trace))
+}

@@ -1,0 +1,93 @@
+// Package nn provides trainable neural-network layers, parameter
+// initialization, optimizers and learning-rate schedules on top of the
+// autograd package. It is the training-side counterpart of the deployment
+// stack (graph/tflm/kernels): models are trained here in float32 with
+// optional quantization-aware training, then exported to the int8 runtime.
+package nn
+
+import (
+	"math/rand"
+
+	ag "micronets/internal/autograd"
+	"micronets/internal/tensor"
+)
+
+// Param is a named trainable tensor. Decay controls whether weight decay is
+// applied (the paper's recipes exempt BatchNorm scale/shift and biases).
+type Param struct {
+	Name  string
+	V     *ag.Var
+	Decay bool
+}
+
+// Layer is a trainable module.
+type Layer interface {
+	// Forward runs the layer. training toggles batch statistics, dropout
+	// and quantization-range observation.
+	Forward(x *ag.Var, training bool) *ag.Var
+	// Params returns the trainable parameters, in a stable order.
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *ag.Var, training bool) *ag.Var {
+	for _, l := range s.Layers {
+		x = l.Forward(x, training)
+	}
+	return x
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Add appends a layer and returns the container for chaining.
+func (s *Sequential) Add(l Layer) *Sequential {
+	s.Layers = append(s.Layers, l)
+	return s
+}
+
+// HeInit fills a weight tensor with He-normal initialization given its
+// fan-in, appropriate for ReLU networks.
+func HeInit(rng *rand.Rand, fanIn int, shape ...int) *tensor.Tensor {
+	if fanIn <= 0 {
+		fanIn = 1
+	}
+	std := 1.4142135 / float32(sqrtf(float32(fanIn)))
+	t := tensor.New(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64()) * std
+	}
+	return t
+}
+
+// GlorotInit fills a weight tensor with Glorot-uniform initialization.
+func GlorotInit(rng *rand.Rand, fanIn, fanOut int, shape ...int) *tensor.Tensor {
+	limit := sqrtf(6 / float32(fanIn+fanOut))
+	return tensor.RandUniform(rng, -float64(limit), float64(limit), shape...)
+}
+
+func sqrtf(x float32) float32 {
+	// Newton iterations are plenty for init purposes.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

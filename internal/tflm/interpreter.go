@@ -1,0 +1,143 @@
+package tflm
+
+import (
+	"fmt"
+	"math"
+
+	"micronets/internal/graph"
+	"micronets/internal/kernels"
+	"micronets/internal/tensor"
+)
+
+// Interpreter executes a graph.Model, mirroring TFLM's MicroInterpreter:
+// construct, AllocateTensors (memory planning + op preparation), set the
+// input, Invoke, read the output.
+type Interpreter struct {
+	model *graph.Model
+	plan  *Plan
+	arena []int8
+	// bufs[i] is tensor i's slice into the arena.
+	bufs [][]int8
+	ctxs []*kernels.Ctx
+}
+
+// NewInterpreter plans memory and prepares kernels. arenaLimit (bytes)
+// bounds the activation arena; pass 0 for unlimited (host-side use).
+// It fails — like TFLM — if the model contains unsupported ops or the
+// arena does not fit.
+func NewInterpreter(m *graph.Model, arenaLimit int) (*Interpreter, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	for _, op := range m.Ops {
+		if op.Kind == graph.OpTransposedConv {
+			return nil, fmt.Errorf("tflm: model %s: operator %s not supported by the runtime", m.Name, op.Kind)
+		}
+	}
+	plan, err := PlanMemory(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Verify(); err != nil {
+		return nil, err
+	}
+	if arenaLimit > 0 && plan.ArenaBytes > arenaLimit {
+		return nil, fmt.Errorf("tflm: model %s needs %d arena bytes, limit %d",
+			m.Name, plan.ArenaBytes, arenaLimit)
+	}
+	ip := &Interpreter{
+		model: m,
+		plan:  plan,
+		arena: make([]int8, plan.ArenaBytes),
+		bufs:  make([][]int8, len(m.Tensors)),
+		ctxs:  make([]*kernels.Ctx, len(m.Ops)),
+	}
+	for _, a := range plan.Allocations {
+		t := m.Tensors[a.TensorID]
+		ip.bufs[a.TensorID] = ip.arena[a.Offset : a.Offset+t.Elems()]
+	}
+	for i, op := range m.Ops {
+		switch op.Kind {
+		case graph.OpConv2D, graph.OpDWConv2D, graph.OpDense:
+			ip.ctxs[i] = kernels.PrepareConv(m, op)
+		}
+	}
+	return ip, nil
+}
+
+// Model returns the underlying model.
+func (ip *Interpreter) Model() *graph.Model { return ip.model }
+
+// Plan returns the memory plan.
+func (ip *Interpreter) Plan() *Plan { return ip.plan }
+
+// Input returns the raw quantized input buffer.
+func (ip *Interpreter) Input() []int8 { return ip.bufs[ip.model.Input] }
+
+// Output returns the raw quantized output buffer.
+func (ip *Interpreter) Output() []int8 { return ip.bufs[ip.model.Output] }
+
+// SetInputFloat quantizes a float tensor (shape [h,w,c] or flat of the
+// right size) into the input buffer.
+func (ip *Interpreter) SetInputFloat(x *tensor.Tensor) error {
+	in := ip.model.Tensors[ip.model.Input]
+	if x.Len() != in.Elems() {
+		return fmt.Errorf("tflm: input has %d elements, model wants %d", x.Len(), in.Elems())
+	}
+	lo, hi := int32(-128), int32(127)
+	if in.Bits == 4 {
+		lo, hi = -8, 7
+	}
+	buf := ip.Input()
+	for i, v := range x.Data {
+		q := int32(math.Round(float64(v)/float64(in.Scale))) + in.ZeroPoint
+		if q < lo {
+			q = lo
+		}
+		if q > hi {
+			q = hi
+		}
+		buf[i] = int8(q)
+	}
+	return nil
+}
+
+// OutputFloat dequantizes the output buffer.
+func (ip *Interpreter) OutputFloat() []float32 {
+	out := ip.model.Tensors[ip.model.Output]
+	buf := ip.Output()
+	res := make([]float32, out.Elems())
+	for i := range res {
+		res[i] = out.Scale * float32(int32(buf[i])-out.ZeroPoint)
+	}
+	return res
+}
+
+// Invoke runs all ops in order.
+func (ip *Interpreter) Invoke() error {
+	for i, op := range ip.model.Ops {
+		if err := kernels.Run(ip.model, op, ip.ctxs[i], ip.bufs); err != nil {
+			return fmt.Errorf("tflm: op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Classify is a convenience wrapper: set input, invoke, return the argmax
+// class and its dequantized score.
+func (ip *Interpreter) Classify(x *tensor.Tensor) (int, float32, error) {
+	if err := ip.SetInputFloat(x); err != nil {
+		return 0, 0, err
+	}
+	if err := ip.Invoke(); err != nil {
+		return 0, 0, err
+	}
+	out := ip.OutputFloat()
+	best := 0
+	for i, v := range out {
+		if v > out[best] {
+			best = i
+		}
+	}
+	return best, out[best], nil
+}

@@ -1,0 +1,126 @@
+package tflm
+
+import (
+	"fmt"
+	"strings"
+
+	"micronets/internal/graph"
+)
+
+// Runtime overheads measured in the paper (Figure 2 and §3.1): "the runtime
+// overhead for the TFLM interpreter is fairly minimal, requiring just 4KB
+// of SRAM and 37 KB of eFlash". "Other" captures application scaffolding.
+const (
+	InterpreterSRAMBytes = 4 * 1024
+	RuntimeCodeFlashBytes = 37 * 1024
+	OtherSRAMBytes  = 4 * 1024
+	OtherFlashBytes = 38 * 1024
+)
+
+// MemoryReport is the full memory map of a deployed model — the data behind
+// Figure 2 and the SRAM/Flash columns of Table 4.
+type MemoryReport struct {
+	ModelName string
+
+	// SRAM side.
+	ArenaBytes      int // intermediate activation tensors (planned arena)
+	PersistentBytes int // buffered quant params + op/tensor structs
+	InterpreterSRAM int
+	OtherSRAM       int
+
+	// Flash side.
+	WeightsFlash   int // weights + biases
+	QuantGraphFlash int // quantization params + graph definition
+	RuntimeFlash   int
+	OtherFlash     int
+}
+
+// PersistentBufferBytes models TFLM's per-model persistent allocations:
+// buffered per-channel requantization parameters (8 bytes per output
+// channel: int32 multiplier + int32 shift), plus per-op kernel structs and
+// per-tensor TfLiteEvalTensor records.
+func PersistentBufferBytes(m *graph.Model) int {
+	bytes := 0
+	for _, op := range m.Ops {
+		bytes += 8 * len(op.WeightScales) // requant multiplier+shift
+		bytes += 160                      // kernel params struct + node record
+	}
+	bytes += 64 * len(m.Tensors)
+	return bytes
+}
+
+// Report computes the memory map for a model. The plan is computed if nil.
+func Report(m *graph.Model, plan *Plan) (*MemoryReport, error) {
+	if plan == nil {
+		var err error
+		plan, err = PlanMemory(m)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &MemoryReport{
+		ModelName:       m.Name,
+		ArenaBytes:      plan.ArenaBytes,
+		PersistentBytes: PersistentBufferBytes(m),
+		InterpreterSRAM: InterpreterSRAMBytes,
+		OtherSRAM:       OtherSRAMBytes,
+		WeightsFlash:    m.WeightBytes() + m.BiasBytes(),
+		QuantGraphFlash: m.QuantParamBytes() + m.GraphDefBytes(),
+		RuntimeFlash:    RuntimeCodeFlashBytes,
+		OtherFlash:      OtherFlashBytes,
+	}, nil
+}
+
+// ModelSRAM returns the model's own SRAM use (arena + persistent buffers) —
+// the "SRAM" column of Table 4, which excludes interpreter overheads.
+func (r *MemoryReport) ModelSRAM() int { return r.ArenaBytes + r.PersistentBytes }
+
+// ModelFlash returns the model's own flash use (the .tflite-file analogue)
+// — the "Flash" column of Table 4.
+func (r *MemoryReport) ModelFlash() int { return r.WeightsFlash + r.QuantGraphFlash }
+
+// TotalSRAM returns everything the application needs in SRAM.
+func (r *MemoryReport) TotalSRAM() int {
+	return r.ModelSRAM() + r.InterpreterSRAM + r.OtherSRAM
+}
+
+// TotalFlash returns everything the application needs in flash (the
+// "Binary" column analogue adds the runtime and app code).
+func (r *MemoryReport) TotalFlash() int {
+	return r.ModelFlash() + r.RuntimeFlash + r.OtherFlash
+}
+
+// FitsDevice checks deployability against SRAM/flash budgets in bytes.
+func (r *MemoryReport) FitsDevice(sramBytes, flashBytes int) error {
+	var problems []string
+	if r.TotalSRAM() > sramBytes {
+		problems = append(problems, fmt.Sprintf("SRAM %d > %d", r.TotalSRAM(), sramBytes))
+	}
+	if r.TotalFlash() > flashBytes {
+		problems = append(problems, fmt.Sprintf("flash %d > %d", r.TotalFlash(), flashBytes))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("tflm: %s does not fit: %s", r.ModelName, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// String renders the Figure 2-style breakdown.
+func (r *MemoryReport) String() string {
+	var b strings.Builder
+	kb := func(n int) string { return fmt.Sprintf("%.1f KB", float64(n)/1024) }
+	fmt.Fprintf(&b, "Memory map for %s\n", r.ModelName)
+	fmt.Fprintf(&b, "  SRAM:\n")
+	fmt.Fprintf(&b, "    TF Micro interpreter : %s\n", kb(r.InterpreterSRAM))
+	fmt.Fprintf(&b, "    Intermediate tensors : %s\n", kb(r.ArenaBytes))
+	fmt.Fprintf(&b, "    Persistent buffers   : %s\n", kb(r.PersistentBytes))
+	fmt.Fprintf(&b, "    Other                : %s\n", kb(r.OtherSRAM))
+	fmt.Fprintf(&b, "    Total                : %s\n", kb(r.TotalSRAM()))
+	fmt.Fprintf(&b, "  eFlash:\n")
+	fmt.Fprintf(&b, "    TF Micro code        : %s\n", kb(r.RuntimeFlash))
+	fmt.Fprintf(&b, "    Weights + biases     : %s\n", kb(r.WeightsFlash))
+	fmt.Fprintf(&b, "    Quant params + graph : %s\n", kb(r.QuantGraphFlash))
+	fmt.Fprintf(&b, "    Other                : %s\n", kb(r.OtherFlash))
+	fmt.Fprintf(&b, "    Total                : %s\n", kb(r.TotalFlash()))
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package tflm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	ag "micronets/internal/autograd"
+	"micronets/internal/arch"
+	"micronets/internal/graph"
+	"micronets/internal/tensor"
+	"micronets/internal/zoo"
+)
+
+func testSpec() *arch.Spec {
+	return &arch.Spec{
+		Name: "planner-test", Task: "kws",
+		InputH: 49, InputW: 10, InputC: 1, NumClasses: 12,
+		Blocks: []arch.Block{
+			{Kind: arch.Conv, KH: 10, KW: 4, OutC: 16, Stride: 1},
+			{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: 24, Stride: 2},
+			{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: 20, Stride: 1},
+			{Kind: arch.AvgPool, KH: 25, KW: 5, Stride: 1},
+			{Kind: arch.Dense, OutC: 12},
+		},
+	}
+}
+
+func lowered(t *testing.T, seed int64) *graph.Model {
+	t.Helper()
+	m, err := graph.FromSpec(testSpec(), rand.New(rand.NewSource(seed)), graph.LowerOptions{AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPlanNonOverlapInvariant(t *testing.T) {
+	m := lowered(t, 1)
+	plan, err := PlanMemory(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSavesVsNaive(t *testing.T) {
+	m := lowered(t, 2)
+	plan, err := PlanMemory(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ArenaBytes >= NaiveArenaBytes(m) {
+		t.Fatalf("planner (%d) must beat naive sum (%d)", plan.ArenaBytes, NaiveArenaBytes(m))
+	}
+	// And can never beat the tightest single producer-consumer pair.
+	biggest := 0
+	for _, op := range m.Ops {
+		in := m.Tensors[op.Inputs[0]].Bytes()
+		out := m.Tensors[op.Output].Bytes()
+		if in+out > biggest {
+			biggest = in + out
+		}
+	}
+	if plan.ArenaBytes < biggest {
+		t.Fatalf("arena %d below working-set lower bound %d", plan.ArenaBytes, biggest)
+	}
+}
+
+func TestQuickPlannerInvariantAcrossZoo(t *testing.T) {
+	names := []string{"MicroNet-KWS-S", "MicroNet-KWS-M", "MicroNet-AD-S", "MicroNet-VWW-2", "DSCNN-S", "FC-AE(Baseline)"}
+	f := func(seedRaw int64, pick uint8) bool {
+		e, err := zoo.Get(names[int(pick)%len(names)])
+		if err != nil || e.Spec == nil {
+			return true
+		}
+		m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(seedRaw)), graph.LowerOptions{})
+		if err != nil {
+			return false
+		}
+		plan, err := PlanMemory(m)
+		if err != nil {
+			return false
+		}
+		return plan.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpreterRunsAndIsDeterministic(t *testing.T) {
+	m := lowered(t, 3)
+	ip, err := NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.Randn(rng, 1, 49, 10, 1)
+	// The arena reuses the input region for later tensors (as TFLM does),
+	// so the input must be set before every Invoke.
+	if err := ip.SetInputFloat(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float32(nil), ip.OutputFloat()...)
+	if err := ip.SetInputFloat(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	second := ip.OutputFloat()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("interpreter must be deterministic")
+		}
+	}
+	// Softmax output sums to ~1.
+	var sum float64
+	for _, v := range second {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+}
+
+func TestInterpreterArenaLimit(t *testing.T) {
+	m := lowered(t, 5)
+	if _, err := NewInterpreter(m, 16); err == nil {
+		t.Fatal("tiny arena limit must fail allocation")
+	}
+}
+
+func TestInterpreterRejectsTransposedConv(t *testing.T) {
+	spec := zoo.ConvAutoencoder()
+	m, err := graph.FromSpec(spec, rand.New(rand.NewSource(6)), graph.LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterpreter(m, 0); err == nil {
+		t.Fatal("Conv-AE must be rejected (TFLM lacks transposed conv, §6.4)")
+	}
+}
+
+// TestExportedModelMatchesFloat is the end-to-end int8 correctness test:
+// train a tiny model (a few steps so weights are non-trivial), export it
+// through BN folding + per-channel quantization, and verify the int8
+// interpreter agrees with the float model on classification decisions.
+func TestExportedModelMatchesFloat(t *testing.T) {
+	spec := &arch.Spec{
+		Name: "export-test", Task: "kws",
+		InputH: 12, InputW: 8, InputC: 1, NumClasses: 4,
+		Blocks: []arch.Block{
+			{Kind: arch.Conv, KH: 3, KW: 3, OutC: 8, Stride: 1},
+			{Kind: arch.DSBlock, KH: 3, KW: 3, OutC: 12, Stride: 2},
+			{Kind: arch.IBN, KH: 3, KW: 3, Expand: 16, OutC: 12, Stride: 1},
+			{Kind: arch.GlobalPool},
+			{Kind: arch.Dense, OutC: 4},
+		},
+	}
+	rng := rand.New(rand.NewSource(7))
+	model, err := arch.Build(rng, spec, arch.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push a couple of batches through in training mode so BatchNorm
+	// running statistics move away from their init.
+	for i := 0; i < 5; i++ {
+		x := tensor.Randn(rng, 1, 8, 12, 8, 1)
+		model.Forward(ag.Constant(x), true)
+	}
+	calib := tensor.Randn(rng, 1, 16, 12, 8, 1)
+	gm, err := graph.Export(spec, model, calib, graph.LowerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterpreter(gm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	const trials = 24
+	var worst float64
+	for i := 0; i < trials; i++ {
+		x := tensor.Randn(rng, 1, 1, 12, 8, 1)
+		floatLogits := model.Forward(ag.Constant(x), false)
+		pred, _, err := ip.Classify(x.Reshape(12, 8, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fBest := 0
+		row := floatLogits.Value.Data
+		for j, v := range row {
+			if v > row[fBest] {
+				fBest = j
+			}
+		}
+		if pred == fBest {
+			agree++
+		}
+		// Also check logit-level agreement.
+		q := ip.OutputFloat()
+		for j := range q {
+			d := math.Abs(float64(q[j] - row[j]))
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	if agree < trials*3/4 {
+		t.Fatalf("int8 interpreter agrees with float on %d/%d decisions", agree, trials)
+	}
+	if worst > 1.0 {
+		t.Fatalf("worst logit deviation %v too large", worst)
+	}
+}
+
+func TestMemoryReportShapes(t *testing.T) {
+	m := lowered(t, 8)
+	rep, err := Report(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModelSRAM() != rep.ArenaBytes+rep.PersistentBytes {
+		t.Fatal("ModelSRAM composition wrong")
+	}
+	if rep.TotalSRAM() <= rep.ModelSRAM() {
+		t.Fatal("total SRAM must add interpreter overheads")
+	}
+	if rep.ModelFlash() != rep.WeightsFlash+rep.QuantGraphFlash {
+		t.Fatal("ModelFlash composition wrong")
+	}
+	if rep.RuntimeFlash != 37*1024 || rep.InterpreterSRAM != 4*1024 {
+		t.Fatal("TFLM overheads must match the paper's Figure 2 values")
+	}
+}
+
+func TestFitsDevice(t *testing.T) {
+	m := lowered(t, 9)
+	rep, err := Report(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.FitsDevice(1<<30, 1<<30); err != nil {
+		t.Fatalf("must fit a huge device: %v", err)
+	}
+	if err := rep.FitsDevice(1024, 1<<30); err == nil {
+		t.Fatal("must not fit 1KB SRAM")
+	}
+	if err := rep.FitsDevice(1<<30, 1024); err == nil {
+		t.Fatal("must not fit 1KB flash")
+	}
+}
+
+// TestPaperMemoryCalibration pins the reproduction to the paper's Table 4
+// memory columns for the KWS MicroNets (within 15%).
+func TestPaperMemoryCalibration(t *testing.T) {
+	cases := []struct {
+		name            string
+		sramKB, flashKB float64
+	}{
+		{"MicroNet-KWS-M", 103.3, 163},
+		{"MicroNet-KWS-S", 53.2, 102},
+		{"MicroNet-AD-M", 274.5, 464},
+	}
+	for _, c := range cases {
+		e, err := zoo.Get(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(1)), graph.LowerOptions{AppendSoftmax: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Report(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sram := float64(rep.ModelSRAM()) / 1024
+		flash := float64(rep.ModelFlash()) / 1024
+		if math.Abs(sram-c.sramKB)/c.sramKB > 0.20 {
+			t.Errorf("%s SRAM %.1f KB vs paper %.1f KB (>20%%)", c.name, sram, c.sramKB)
+		}
+		if math.Abs(flash-c.flashKB)/c.flashKB > 0.25 {
+			t.Errorf("%s flash %.1f KB vs paper %.1f KB (>25%%)", c.name, flash, c.flashKB)
+		}
+	}
+}

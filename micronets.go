@@ -1,0 +1,134 @@
+// Package micronets is the public API of the MicroNets reproduction
+// (Banbury et al., MLSys 2021): TinyML model architectures discovered with
+// differentiable NAS under MCU memory and latency constraints, deployed
+// through a TFLM-style int8 interpreter and evaluated on simulated
+// commodity Cortex-M microcontrollers.
+//
+// The typical flow is:
+//
+//	spec, _ := micronets.Model("MicroNet-KWS-S")
+//	dep, _ := micronets.Deploy(spec, micronets.DeviceS, micronets.DeployOptions{})
+//	fmt.Println(dep.LatencySeconds, dep.EnergyMJ, dep.Report)
+//
+// Training, dataset synthesis, DNAS search and the experiment harness live
+// in the internal packages and are exercised by the cmd/ tools and
+// examples/.
+package micronets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"micronets/internal/arch"
+	"micronets/internal/graph"
+	"micronets/internal/mcu"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+// Device size classes matching the paper's small/medium/large MCUs.
+var (
+	// DeviceS is the STM32F446RE (Cortex-M4, 128 KB SRAM, 512 KB flash).
+	DeviceS = mcu.F446RE
+	// DeviceM is the STM32F746ZG (Cortex-M7, 320 KB SRAM, 1 MB flash).
+	DeviceM = mcu.F746ZG
+	// DeviceL is the STM32F767ZI (Cortex-M7, 512 KB SRAM, 2 MB flash).
+	DeviceL = mcu.F767ZI
+)
+
+// Model returns a named architecture from the zoo (see ModelNames).
+func Model(name string) (*arch.Spec, error) {
+	e, err := zoo.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if e.Spec == nil {
+		return nil, fmt.Errorf("micronets: %s is a stats-only comparison point (no public architecture)", name)
+	}
+	return e.Spec, nil
+}
+
+// ModelNames lists every model in the zoo.
+func ModelNames() []string { return zoo.Names() }
+
+// DeployOptions configures Deploy.
+type DeployOptions struct {
+	// WeightBits and ActBits select the datatype (default 8; 4 enables the
+	// paper's emulated sub-byte kernels).
+	WeightBits, ActBits int
+	// Seed controls the synthetic weights used when no trained model is
+	// supplied.
+	Seed int64
+	// AppendSoftmax adds the classifier softmax op.
+	AppendSoftmax bool
+}
+
+// Deployment is the result of deploying a model on a device.
+type Deployment struct {
+	Spec   *arch.Spec
+	Model  *graph.Model
+	Device *mcu.Device
+	Report *tflm.MemoryReport
+
+	// LatencySeconds is the modeled end-to-end inference latency.
+	LatencySeconds float64
+	// ActivePowerMW is the board draw while inferring.
+	ActivePowerMW float64
+	// EnergyMJ is energy per inference in millijoules.
+	EnergyMJ float64
+	// Layers is the per-op latency breakdown.
+	Layers []mcu.LayerLatency
+	// FitsErr is non-nil when the model does not fit the device.
+	FitsErr error
+}
+
+// Deploy lowers a spec to the int8 runtime, plans its memory, checks it
+// against the device budgets, and models latency and energy. A non-fitting
+// model still returns a Deployment (with FitsErr set) so callers can report
+// "not deployable" rows as the paper's tables do; models using unsupported
+// operators return an error.
+func Deploy(spec *arch.Spec, dev *mcu.Device, opts DeployOptions) (*Deployment, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m, err := graph.FromSpec(spec, rng, graph.LowerOptions{
+		WeightBits:    opts.WeightBits,
+		ActBits:       opts.ActBits,
+		AppendSoftmax: opts.AppendSoftmax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return DeployModel(spec, m, dev)
+}
+
+// DeployModel deploys an already-lowered model (e.g. a trained export).
+func DeployModel(spec *arch.Spec, m *graph.Model, dev *mcu.Device) (*Deployment, error) {
+	report, err := tflm.Report(m, nil)
+	if err != nil {
+		return nil, err
+	}
+	lat, layers := mcu.ModelLatency(m, dev)
+	d := &Deployment{
+		Spec: spec, Model: m, Device: dev, Report: report,
+		LatencySeconds: lat,
+		ActivePowerMW:  mcu.ActivePowerMW(m, dev),
+		EnergyMJ:       mcu.EnergyPerInferenceMJ(m, dev),
+		Layers:         layers,
+	}
+	d.FitsErr = report.FitsDevice(dev.SRAMBytes(), dev.FlashBytes())
+	for _, op := range m.Ops {
+		if op.Kind == graph.OpTransposedConv {
+			d.FitsErr = fmt.Errorf("micronets: %s uses %s, unsupported by the runtime", m.Name, op.Kind)
+		}
+	}
+	return d, nil
+}
+
+// Paper returns the published Table 4/2/3 numbers for a model, for
+// side-by-side comparison with simulated measurements.
+func Paper(name string) (zoo.PaperStats, error) {
+	e, err := zoo.Get(name)
+	if err != nil {
+		return zoo.PaperStats{}, err
+	}
+	return e.Paper, nil
+}

@@ -1,0 +1,86 @@
+package micronets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelAndDeployFacade(t *testing.T) {
+	spec, err := Model("MicroNet-KWS-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(spec, DeviceS, DeployOptions{AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.FitsErr != nil {
+		t.Fatalf("KWS-S must fit the small MCU: %v", dep.FitsErr)
+	}
+	paper, err := Paper("MicroNet-KWS-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dep.LatencySeconds-paper.LatS)/paper.LatS > 0.10 {
+		t.Fatalf("facade latency %.3f vs paper %.3f", dep.LatencySeconds, paper.LatS)
+	}
+	if dep.EnergyMJ <= 0 || dep.ActivePowerMW <= 0 {
+		t.Fatal("energy/power must be positive")
+	}
+	if len(dep.Layers) == 0 {
+		t.Fatal("per-layer breakdown missing")
+	}
+}
+
+func TestDeployNotFitting(t *testing.T) {
+	spec, err := Model("MicroNet-KWS-L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(spec, DeviceS, DeployOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.FitsErr == nil {
+		t.Fatal("KWS-L must not fit the small MCU (Table 4)")
+	}
+}
+
+func TestStatsOnlyModelsRejected(t *testing.T) {
+	if _, err := Model("ProxylessNas"); err == nil {
+		t.Fatal("stats-only entries must not return a spec")
+	}
+	if _, err := Model("nope"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestModelNamesNonEmpty(t *testing.T) {
+	if len(ModelNames()) < 20 {
+		t.Fatalf("zoo too small: %d entries", len(ModelNames()))
+	}
+}
+
+func TestFourBitDeploySmaller(t *testing.T) {
+	spec, err := Model("MicroNet-KWS-L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := Deploy(spec, DeviceM, DeployOptions{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := Deploy(spec, DeviceM, DeployOptions{WeightBits: 4, ActBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4.Report.ModelFlash() >= d8.Report.ModelFlash() {
+		t.Fatal("4-bit weights must shrink flash (Table 2)")
+	}
+	if d4.Report.ArenaBytes >= d8.Report.ArenaBytes {
+		t.Fatal("4-bit activations must shrink the arena (Table 2)")
+	}
+	if d4.LatencySeconds <= d8.LatencySeconds {
+		t.Fatal("4-bit emulation must cost latency (Figure 10)")
+	}
+}
