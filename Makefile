@@ -1,0 +1,29 @@
+# Local entry points mirroring .github/workflows/ci.yml so the two can't
+# drift: `make ci` runs exactly what the workflow runs.
+
+GO ?= go
+
+.PHONY: build test bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke is the CI variant: every benchmark once, as a regression
+# canary rather than a measurement.
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+ci: build lint test bench-smoke

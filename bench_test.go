@@ -11,6 +11,7 @@ import (
 
 	"micronets/internal/experiments"
 	"micronets/internal/graph"
+	"micronets/internal/kernels"
 	"micronets/internal/mcu"
 	"micronets/internal/tflm"
 	"micronets/internal/zoo"
@@ -149,15 +150,53 @@ func loweredModel(b *testing.B, name string) *graph.Model {
 	return m
 }
 
-func BenchmarkInterpreterInvokeKWSS(b *testing.B) {
-	m := loweredModel(b, "MicroNet-KWS-S")
-	ip, err := tflm.NewInterpreter(m, 0)
+func benchInvoke(b *testing.B, name string, eng kernels.Engine) {
+	b.Helper()
+	m := loweredModel(b, name)
+	ip, err := tflm.NewInterpreterWithEngine(m, 0, eng)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ip.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInvoke* compare the naive direct-convolution kernels
+// (kernels.Reference) against the parallel im2col+GEMM engine
+// (kernels.Gemm) on KWS- and VWW-shaped models. The acceptance bar for
+// the engine is ≥2× on the VWW model:
+//
+//	go test -bench=BenchmarkInvoke
+func BenchmarkInvokeKWSSReference(b *testing.B) { benchInvoke(b, "MicroNet-KWS-S", kernels.Reference) }
+func BenchmarkInvokeKWSSParallel(b *testing.B)  { benchInvoke(b, "MicroNet-KWS-S", kernels.Gemm) }
+func BenchmarkInvokeKWSLReference(b *testing.B) { benchInvoke(b, "MicroNet-KWS-L", kernels.Reference) }
+func BenchmarkInvokeKWSLParallel(b *testing.B)  { benchInvoke(b, "MicroNet-KWS-L", kernels.Gemm) }
+func BenchmarkInvokeVWWReference(b *testing.B)  { benchInvoke(b, "MicroNet-VWW-1", kernels.Reference) }
+func BenchmarkInvokeVWWParallel(b *testing.B)   { benchInvoke(b, "MicroNet-VWW-1", kernels.Gemm) }
+
+// BenchmarkInvokeBatchKWSS measures the batched API, which amortizes
+// plan setup and input copies across a batch of 16.
+func BenchmarkInvokeBatchKWSS(b *testing.B) {
+	m := loweredModel(b, "MicroNet-KWS-S")
+	ip, err := tflm.NewInterpreter(m, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	batch := make([][]int8, 16)
+	for i := range batch {
+		batch[i] = make([]int8, len(ip.Input()))
+		for j := range batch[i] {
+			batch[i][j] = int8(rng.Intn(256) - 128)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.InvokeBatch(batch); err != nil {
 			b.Fatal(err)
 		}
 	}

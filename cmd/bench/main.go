@@ -4,7 +4,7 @@
 // Usage:
 //
 //	bench                 # run everything
-//	bench -exp fig4       # one experiment: table1..table5, fig2..fig11, div4
+//	bench -exp fig4       # one experiment: table1..table5, fig2..fig11, div4, engine
 package main
 
 import (
@@ -25,12 +25,12 @@ const seed = 42
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	exp := flag.String("exp", "all", "experiment id (table1..table5, fig2..fig11, div4) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1..table5, fig2..fig11, div4, engine) or 'all'")
 	flag.Parse()
 
 	runners := []struct {
-		id  string
-		fn  func() (string, error)
+		id string
+		fn func() (string, error)
 	}{
 		{"table1", func() (string, error) { return experiments.Table1(), nil }},
 		{"fig2", func() (string, error) { return experiments.Figure2("MicroNet-KWS-L", seed) }},
@@ -47,6 +47,7 @@ func main() {
 		{"table3", func() (string, error) { return experiments.Table3(seed) }},
 		{"table4", func() (string, error) { return experiments.Table4(seed) }},
 		{"div4", runDiv4},
+		{"engine", func() (string, error) { return experiments.RenderEngineComparison(seed) }},
 	}
 	ran := false
 	for _, r := range runners {

@@ -19,6 +19,7 @@ import (
 	"micronets/internal/graph"
 	"micronets/internal/mcu"
 	"micronets/internal/nn"
+	"micronets/internal/tensor"
 	"micronets/internal/tflm"
 	"micronets/internal/train"
 )
@@ -112,13 +113,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	xs := make([]*tensor.Tensor, len(testDS.Samples))
+	for i, s := range testDS.Samples {
+		xs[i] = s.X
+	}
+	preds, _, err := ip.ClassifyBatch(xs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	correct := 0
-	for _, s := range testDS.Samples {
-		pred, _, err := ip.Classify(s.X)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if pred == s.Label {
+	for i, s := range testDS.Samples {
+		if preds[i] == s.Label {
 			correct++
 		}
 	}

@@ -1,0 +1,3 @@
+module micronets
+
+go 1.24

@@ -98,15 +98,15 @@ type Spec struct {
 // with resolved shapes and costs. Several LayerInfos may correspond to one
 // Block (e.g. a DSBlock lowers to a depthwise and a pointwise layer).
 type LayerInfo struct {
-	Name     string
-	Kind     string // "conv", "dwconv", "dense", "avgpool", "maxpool", "add", "tconv"
-	BlockIdx int
-	KH, KW   int
-	Stride   int
+	Name             string
+	Kind             string // "conv", "dwconv", "dense", "avgpool", "maxpool", "add", "tconv"
+	BlockIdx         int
+	KH, KW           int
+	Stride           int
 	InH, InW, InC    int
 	OutH, OutW, OutC int
-	Params   int64 // weight count (excluding bias)
-	Biases   int64
+	Params           int64 // weight count (excluding bias)
+	Biases           int64
 	// MACs is multiply-accumulates; Ops = 2*MACs following the paper's
 	// convention ("a single multiply-accumulate is defined as two
 	// operations").
@@ -294,7 +294,7 @@ func (s *Spec) Analyze() (*Analysis, error) {
 				Name: fmt.Sprintf("fc%d", i), Kind: "dense", BlockIdx: i,
 				InH: 1, InW: 1, InC: in, OutH: 1, OutW: 1, OutC: b.OutC,
 				Params: int64(in) * int64(b.OutC), Biases: int64(b.OutC),
-				MACs:   int64(in) * int64(b.OutC),
+				MACs: int64(in) * int64(b.OutC),
 			})
 			h, w, c = 1, 1, b.OutC
 		case Dropout:

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	ag "micronets/internal/autograd"
 	"micronets/internal/arch"
+	ag "micronets/internal/autograd"
 	"micronets/internal/nn"
 	"micronets/internal/tensor"
 )
@@ -183,9 +183,9 @@ func (s *IBNSupernet) Forward(x *ag.Var, training bool, rng *rand.Rand, tau floa
 		res.ParamCount = ag.Add(res.ParamCount, params)
 		res.OpCount = ag.Add(res.OpCount, ops)
 		res.WorkMemTerms = append(res.WorkMemTerms,
-			ag.Scale(ag.Add(ePrev, eExp), float32(h*w)),                 // exp node
+			ag.Scale(ag.Add(ePrev, eExp), float32(h*w)),                          // exp node
 			ag.Add(ag.Scale(eExp, float32(h*w)), ag.Scale(eExp, float32(oh*ow))), // dw node
-			ag.Scale(ag.Add(eExp, eOut), float32(oh*ow)))                // proj node
+			ag.Scale(ag.Add(eExp, eOut), float32(oh*ow)))                         // proj node
 		ePrev = eOut
 		h, w = oh, ow
 	}

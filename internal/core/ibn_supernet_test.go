@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	ag "micronets/internal/autograd"
 	"micronets/internal/arch"
+	ag "micronets/internal/autograd"
 	"micronets/internal/nn"
 	"micronets/internal/tensor"
 )

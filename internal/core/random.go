@@ -15,8 +15,8 @@ import (
 // RandomKWSModel samples a DS-CNN-style model from the KWS backbone
 // (49x10 MFCC input): random depth and random multiple-of-4 widths.
 func RandomKWSModel(rng *rand.Rand, idx int) *arch.Spec {
-	blocks := 2 + rng.Intn(6)            // 2..7 DS blocks
-	firstC := 4 * (4 + rng.Intn(60))     // 16..252
+	blocks := 2 + rng.Intn(6)        // 2..7 DS blocks
+	firstC := 4 * (4 + rng.Intn(60)) // 16..252
 	spec := &arch.Spec{
 		Name: fmt.Sprintf("rand-kws-%d", idx), Task: "kws", Source: "repro",
 		InputH: 49, InputW: 10, InputC: 1, NumClasses: 12,

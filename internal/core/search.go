@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	ag "micronets/internal/autograd"
 	"micronets/internal/arch"
+	ag "micronets/internal/autograd"
 	"micronets/internal/nn"
 	"micronets/internal/tensor"
 )
@@ -98,13 +98,13 @@ type SearchConfig struct {
 // SearchResult reports the discovered architecture and its (expected)
 // resource usage at the end of the search.
 type SearchResult struct {
-	Spec          *arch.Spec
-	FinalLoss     float32
-	FinalPenalty  float32
-	ParamCount    float64
-	OpCount       float64
-	WorkMemElems  float64
-	Violations    []string
+	Spec         *arch.Spec
+	FinalLoss    float32
+	FinalPenalty float32
+	ParamCount   float64
+	OpCount      float64
+	WorkMemElems float64
+	Violations   []string
 }
 
 // RunSearch trains the supernet with alternating weight/architecture

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	ag "micronets/internal/autograd"
 	"micronets/internal/arch"
+	ag "micronets/internal/autograd"
 	"micronets/internal/nn"
 	"micronets/internal/tensor"
 )
@@ -53,12 +53,12 @@ type Supernet struct {
 	firstBN   *nn.BatchNorm
 	firstNode *DecisionNode
 
-	dw      []*nn.DepthwiseConv2D
-	dwBN    []*nn.BatchNorm
-	pw      []*nn.Conv2D
-	pwBN    []*nn.BatchNorm
-	width   []*DecisionNode
-	depth   []*DecisionNode // nil when not skippable
+	dw    []*nn.DepthwiseConv2D
+	dwBN  []*nn.BatchNorm
+	pw    []*nn.Conv2D
+	pwBN  []*nn.BatchNorm
+	width []*DecisionNode
+	depth []*DecisionNode // nil when not skippable
 
 	fc *nn.Dense
 }

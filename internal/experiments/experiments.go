@@ -248,8 +248,8 @@ func Figure5(nModels int, seed int64) ([]Fig5Series, error) {
 // Fig10Row is the latency increase of 4-bit variants over 8-bit for one
 // model.
 type Fig10Row struct {
-	Model            string
-	Lat8w8a          float64
+	Model              string
+	Lat8w8a            float64
 	Lat4a8wIncreasePct float64
 	Lat4a4wIncreasePct float64
 }

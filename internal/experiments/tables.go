@@ -33,10 +33,10 @@ type Measured struct {
 	FlashKB  float64
 	SRAMKB   float64
 	// Latency/energy per device class; NaN-equivalent 0 when not deployable.
-	LatS, LatM, LatL       float64
-	EnergyS, EnergyM       float64
+	LatS, LatM, LatL                      float64
+	EnergyS, EnergyM                      float64
 	DeployableS, DeployableM, DeployableL bool
-	Notes    string
+	Notes                                 string
 }
 
 // MeasureZoo deploys every constructible zoo entry of a task and measures
@@ -238,8 +238,8 @@ func Figure11(seed int64) (string, error) {
 // Table2 renders the 4-bit KWS study.
 func Table2(seed int64) (string, error) {
 	type variant struct {
-		name       string
-		spec       string
+		name         string
+		spec         string
 		wBits, aBits int
 	}
 	variants := []variant{

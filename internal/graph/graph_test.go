@@ -54,7 +54,7 @@ func TestFromSpecIBNResidual(t *testing.T) {
 		InputH: 16, InputW: 16, InputC: 1, NumClasses: 2,
 		Blocks: []arch.Block{
 			{Kind: arch.Conv, KH: 3, KW: 3, OutC: 8, Stride: 2},
-			{Kind: arch.IBN, KH: 3, KW: 3, Expand: 16, OutC: 8, Stride: 1}, // residual
+			{Kind: arch.IBN, KH: 3, KW: 3, Expand: 16, OutC: 8, Stride: 1},  // residual
 			{Kind: arch.IBN, KH: 3, KW: 3, Expand: 16, OutC: 12, Stride: 2}, // no residual
 			{Kind: arch.GlobalPool},
 			{Kind: arch.Dense, OutC: 2},

@@ -63,9 +63,9 @@ func (k OpKind) String() string {
 // Tensor describes one activation tensor (batch dimension is implicitly 1
 // at deployment). Quantization is affine: real = scale * (q - zeroPoint).
 type Tensor struct {
-	ID    int
-	Name  string
-	H, W, C int
+	ID        int
+	Name      string
+	H, W, C   int
 	Scale     float32
 	ZeroPoint int32
 	// Bits is 8 for standard models, 4 for the sub-byte activation study.
@@ -95,7 +95,7 @@ type Op struct {
 	Output int
 
 	// Convolution / pooling geometry.
-	KH, KW, SH, SW                     int
+	KH, KW, SH, SW                       int
 	PadTop, PadLeft, PadBottom, PadRight int
 
 	// Weights are stored per output channel groups; int4 weights are kept

@@ -212,7 +212,7 @@ func SerializedSize(m *Model) int {
 func PackInt4(vals []int8) []byte {
 	out := make([]byte, (len(vals)+1)/2)
 	for i, v := range vals {
-		nib := byte(v&0x0f)
+		nib := byte(v & 0x0f)
 		if i%2 == 0 {
 			out[i/2] = nib
 		} else {

@@ -213,8 +213,8 @@ func TestAddRescales(t *testing.T) {
 		Kind: graph.OpAdd, Name: "add", Inputs: []int{0, 1}, Output: 2,
 		ClampMin: -128, ClampMax: 127,
 	}}
-	a := []int8{4, 8}  // real: 2, 4
-	b := []int8{8, 4}  // real: 2, 1
+	a := []int8{4, 8} // real: 2, 4
+	b := []int8{8, 4} // real: 2, 1
 	out := make([]int8, 2)
 	Add(m, m.Ops[0], a, b, out)
 	if out[0] != 4 || out[1] != 5 { // real 4 and 5 at scale 1

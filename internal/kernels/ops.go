@@ -1,21 +1,38 @@
 package kernels
 
 import (
-	"fmt"
 	"math"
 
 	"micronets/internal/graph"
 )
 
-// Ctx carries the per-op precomputed requantization multipliers; the tflm
-// interpreter builds one per op at AllocateTensors time (this is part of
-// what TFLM's "persistent buffers" hold, Figure 2).
+// Ctx carries the per-op precomputed requantization multipliers plus the
+// Gemm engine's prepared state; the tflm interpreter builds one per op at
+// AllocateTensors time (this is part of what TFLM's "persistent buffers"
+// hold, Figure 2).
 type Ctx struct {
 	Mults []QuantizedMultiplier
+
+	// GEMM state, populated for Conv2D and Dense ops. K is the reduction
+	// length (kh*kw*inC for conv, input elems for dense), PackedW is the
+	// weight matrix repacked into gemmNR-wide column panels, and ZpBias is
+	// the bias with the input zero-point term folded in
+	// (bias[oc] − inZp·Σₖ w[k][oc]).
+	K       int
+	PackedW []int8
+	ZpBias  []int32
+
+	// DWSumPrefix, populated for DWConv2D ops, is the 2-D prefix sum of
+	// the depthwise weights: P[ky][kx][ch] = Σ_{y<ky, x<kx} w[y][x][ch],
+	// laid out [(KH+1)][(KW+1)][C]. The Gemm engine uses rectangle
+	// queries on it to fold the input zero point out of the tap loop.
+	DWSumPrefix []int32
 }
 
-// PrepareConv precomputes per-channel multipliers for a conv/dense op:
-// effective scale = inScale * wScale[c] / outScale.
+// PrepareConv precomputes per-channel multipliers for a conv/dense op
+// (effective scale = inScale * wScale[c] / outScale) and, for the ops the
+// Gemm engine lowers to matrix multiplication, packs the weights and
+// folds the input zero point into the bias.
 func PrepareConv(m *graph.Model, op *graph.Op) *Ctx {
 	in := m.Tensors[op.Inputs[0]]
 	out := m.Tensors[op.Output]
@@ -23,6 +40,19 @@ func PrepareConv(m *graph.Model, op *graph.Op) *Ctx {
 	for c, ws := range op.WeightScales {
 		ctx.Mults[c] = QuantizeMultiplier(float64(in.Scale) * float64(ws) / float64(out.Scale))
 	}
+	switch op.Kind {
+	case graph.OpConv2D:
+		ctx.K = convK(m, op)
+	case graph.OpDense:
+		ctx.K = in.Elems()
+	case graph.OpDWConv2D:
+		ctx.DWSumPrefix = dwWeightPrefix(op, out.C)
+		return ctx
+	default:
+		return ctx
+	}
+	ctx.PackedW = packWeights(op.Weights, ctx.K, out.C)
+	ctx.ZpBias = foldZeroPoint(op.Weights, ctx.K, out.C, op.Bias, in.ZeroPoint)
 	return ctx
 }
 
@@ -121,11 +151,17 @@ func Dense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
 // parameters (as arranged by the exporter), so only integer averaging with
 // round-to-nearest is required.
 func AvgPool(m *graph.Model, op *graph.Op, in, out []int8) {
+	avgPoolRows(m, op, in, out, 0, m.Tensors[op.Output].H)
+}
+
+// avgPoolRows pools output rows [oy0, oy1); the Gemm engine calls it per
+// band, the Reference engine with the full range.
+func avgPoolRows(m *graph.Model, op *graph.Op, in, out []int8, oy0, oy1 int) {
 	it := m.Tensors[op.Inputs[0]]
 	ot := m.Tensors[op.Output]
 	h, w, c := it.H, it.W, it.C
-	oh, ow := ot.H, ot.W
-	for oy := 0; oy < oh; oy++ {
+	ow := ot.W
+	for oy := oy0; oy < oy1; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			outBase := (oy*ow + ox) * c
 			for ch := 0; ch < c; ch++ {
@@ -161,11 +197,16 @@ func AvgPool(m *graph.Model, op *graph.Op, in, out []int8) {
 
 // MaxPool executes max pooling.
 func MaxPool(m *graph.Model, op *graph.Op, in, out []int8) {
+	maxPoolRows(m, op, in, out, 0, m.Tensors[op.Output].H)
+}
+
+// maxPoolRows pools output rows [oy0, oy1).
+func maxPoolRows(m *graph.Model, op *graph.Op, in, out []int8, oy0, oy1 int) {
 	it := m.Tensors[op.Inputs[0]]
 	ot := m.Tensors[op.Output]
 	h, w, c := it.H, it.W, it.C
-	oh, ow := ot.H, ot.W
-	for oy := 0; oy < oh; oy++ {
+	ow := ot.W
+	for oy := oy0; oy < oy1; oy++ {
 		for ox := 0; ox < ow; ox++ {
 			outBase := (oy*ow + ox) * c
 			for ch := 0; ch < c; ch++ {
@@ -233,27 +274,9 @@ func Softmax(m *graph.Model, op *graph.Op, in, out []int8) {
 	}
 }
 
-// Run dispatches one op. It returns an error for ops the runtime does not
-// implement (TransposedConv), which is how non-deployability surfaces.
+// Run dispatches one op on the Default engine with transient scratch. It
+// returns an error for ops the runtime does not implement
+// (TransposedConv), which is how non-deployability surfaces.
 func Run(m *graph.Model, op *graph.Op, ctx *Ctx, bufs [][]int8) error {
-	out := bufs[op.Output]
-	switch op.Kind {
-	case graph.OpConv2D:
-		Conv2D(m, op, ctx, bufs[op.Inputs[0]], out)
-	case graph.OpDWConv2D:
-		DWConv2D(m, op, ctx, bufs[op.Inputs[0]], out)
-	case graph.OpDense:
-		Dense(m, op, ctx, bufs[op.Inputs[0]], out)
-	case graph.OpAvgPool:
-		AvgPool(m, op, bufs[op.Inputs[0]], out)
-	case graph.OpMaxPool:
-		MaxPool(m, op, bufs[op.Inputs[0]], out)
-	case graph.OpAdd:
-		Add(m, op, bufs[op.Inputs[0]], bufs[op.Inputs[1]], out)
-	case graph.OpSoftmax:
-		Softmax(m, op, bufs[op.Inputs[0]], out)
-	default:
-		return fmt.Errorf("kernels: op %s (%s) is not supported by the runtime", op.Name, op.Kind)
-	}
-	return nil
+	return RunWith(Default, m, op, ctx, bufs, nil)
 }

@@ -1,0 +1,92 @@
+package kernels
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The host-side kernels parallelize across a fixed pool of
+// runtime.NumCPU() worker goroutines. A shared pool (rather than
+// per-call goroutine spawning) keeps per-op dispatch overhead low enough
+// that even the small KWS layers benefit, and bounds the number of
+// concurrently live im2col scratch tiles so the tflm planner can account
+// for them up front.
+
+var (
+	poolOnce sync.Once
+	poolSize int
+	tasks    chan func()
+)
+
+func initPool() {
+	poolSize = runtime.NumCPU()
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	tasks = make(chan func(), 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for f := range tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// Workers returns the size of the kernel worker pool. ParallelFor never
+// splits a loop into more than this many chunks, which is what lets
+// ScratchBytes size the im2col region as Workers() scratch tiles.
+func Workers() int {
+	poolOnce.Do(initPool)
+	return poolSize
+}
+
+// ParallelFor splits [0, n) into at most Workers() contiguous chunks of
+// at least minGrain iterations each and runs fn(chunk, lo, hi) for every
+// chunk, returning when all chunks are done. Chunk indices are dense in
+// [0, Workers()), so callers may use them to claim disjoint scratch
+// regions. Small loops (or a single-CPU pool) run inline on the calling
+// goroutine with chunk 0.
+func ParallelFor(n, minGrain int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	chunks := Workers()
+	if c := (n + minGrain - 1) / minGrain; c < chunks {
+		chunks = c
+	}
+	if chunks <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for c := 1; c < chunks; c++ {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		c := c
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}
+		select {
+		case tasks <- task:
+		default:
+			// Pool backed up (e.g. concurrent interpreters): run inline
+			// rather than blocking; chunk ids stay disjoint either way.
+			task()
+		}
+	}
+	fn(0, 0, size)
+	wg.Wait()
+}

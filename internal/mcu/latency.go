@@ -11,7 +11,7 @@ import (
 // Cost-model constants, calibrated so whole-model latencies match the
 // paper's Table 4 on the Cortex-M7 baseline (see DESIGN.md §5):
 //
-//   cycles/MAC = cpmBase + cpmSetup/n,  n = dot-product length (kh*kw*inC)
+//	cycles/MAC = cpmBase + cpmSetup/n,  n = dot-product length (kh*kw*inC)
 //
 // Long dot products amortize per-output setup (pointer arithmetic, SIMD
 // head/tail handling), which is why depthwise convolutions (n = 9) are much

@@ -47,9 +47,9 @@ func TestDeviceDB(t *testing.T) {
 // TestPaperLatencyCalibration pins model latencies to Table 4 within 10%.
 func TestPaperLatencyCalibration(t *testing.T) {
 	cases := []struct {
-		name       string
-		dev        *Device
-		paperSec   float64
+		name     string
+		dev      *Device
+		paperSec float64
 	}{
 		{"MicroNet-KWS-M", F746ZG, 0.187},
 		{"MicroNet-KWS-S", F746ZG, 0.109},

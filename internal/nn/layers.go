@@ -28,12 +28,12 @@ func (p Padding) spec(kh, kw, sh, sw, inH, inW int) tensor.ConvSpec {
 // Conv2D is a standard convolution layer with optional bias and optional
 // quantization-aware training.
 type Conv2D struct {
-	W       *ag.Var // [kh,kw,inC,outC]
-	B       *ag.Var // [outC] or nil
-	Stride  int
-	Pad     Padding
-	Quant   *LayerQuant
-	name    string
+	W      *ag.Var // [kh,kw,inC,outC]
+	B      *ag.Var // [outC] or nil
+	Stride int
+	Pad    Padding
+	Quant  *LayerQuant
+	name   string
 }
 
 // NewConv2D constructs a He-initialized convolution.
@@ -158,12 +158,12 @@ func (l *Dense) Params() []*Param {
 // BatchNorm keeps running statistics with the given momentum and normalizes
 // over all but the channel dimension.
 type BatchNorm struct {
-	Gamma, Beta  *ag.Var
-	RunningMean  *tensor.Tensor
-	RunningVar   *tensor.Tensor
-	Momentum     float32
-	Eps          float32
-	name         string
+	Gamma, Beta *ag.Var
+	RunningMean *tensor.Tensor
+	RunningVar  *tensor.Tensor
+	Momentum    float32
+	Eps         float32
+	name        string
 }
 
 // NewBatchNorm constructs a BatchNorm layer for c channels.

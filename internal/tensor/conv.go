@@ -4,12 +4,12 @@ import "fmt"
 
 // ConvSpec describes a 2-D convolution in NHWC layout.
 type ConvSpec struct {
-	KH, KW     int // kernel height/width
-	SH, SW     int // strides
-	PadTop     int
-	PadBottom  int
-	PadLeft    int
-	PadRight   int
+	KH, KW    int // kernel height/width
+	SH, SW    int // strides
+	PadTop    int
+	PadBottom int
+	PadLeft   int
+	PadRight  int
 }
 
 // SamePadding returns the TensorFlow "SAME" padding for the given input

@@ -13,19 +13,32 @@ import (
 // construct, AllocateTensors (memory planning + op preparation), set the
 // input, Invoke, read the output.
 type Interpreter struct {
-	model *graph.Model
-	plan  *Plan
-	arena []int8
+	model  *graph.Model
+	plan   *Plan
+	engine kernels.Engine
+	arena  []int8
 	// bufs[i] is tensor i's slice into the arena.
 	bufs [][]int8
-	ctxs []*kernels.Ctx
+	// scratch is the Gemm engine's im2col region, the tail of the arena
+	// (planner-accounted, see Plan.ScratchBytes).
+	scratch []int8
+	ctxs    []*kernels.Ctx
 }
 
-// NewInterpreter plans memory and prepares kernels. arenaLimit (bytes)
-// bounds the activation arena; pass 0 for unlimited (host-side use).
-// It fails — like TFLM — if the model contains unsupported ops or the
-// arena does not fit.
+// NewInterpreter plans memory and prepares kernels for the default
+// (parallel GEMM) engine. arenaLimit (bytes) bounds the activation arena;
+// pass 0 for unlimited (host-side use). It fails — like TFLM — if the
+// model contains unsupported ops or the arena does not fit.
 func NewInterpreter(m *graph.Model, arenaLimit int) (*Interpreter, error) {
+	return NewInterpreterWithEngine(m, arenaLimit, kernels.Default)
+}
+
+// NewInterpreterWithEngine is NewInterpreter with an explicit kernel
+// engine — kernels.Reference for the naive baseline, kernels.Gemm for the
+// im2col+GEMM parallel path. An interpreter is not safe for concurrent
+// Invoke calls (it owns one arena), but distinct interpreters may run
+// concurrently.
+func NewInterpreterWithEngine(m *graph.Model, arenaLimit int, eng kernels.Engine) (*Interpreter, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,17 +58,22 @@ func NewInterpreter(m *graph.Model, arenaLimit int) (*Interpreter, error) {
 		return nil, fmt.Errorf("tflm: model %s needs %d arena bytes, limit %d",
 			m.Name, plan.ArenaBytes, arenaLimit)
 	}
+	// Engines that use no scratch (Reference) get a bare activation
+	// arena; Gemm interpreters carry the planner-accounted im2col tail.
+	scratchBytes := alignUp(eng.ScratchBytes(m))
 	ip := &Interpreter{
-		model: m,
-		plan:  plan,
-		arena: make([]int8, plan.ArenaBytes),
-		bufs:  make([][]int8, len(m.Tensors)),
-		ctxs:  make([]*kernels.Ctx, len(m.Ops)),
+		model:  m,
+		plan:   plan,
+		engine: eng,
+		arena:  make([]int8, plan.ArenaBytes+scratchBytes),
+		bufs:   make([][]int8, len(m.Tensors)),
+		ctxs:   make([]*kernels.Ctx, len(m.Ops)),
 	}
 	for _, a := range plan.Allocations {
 		t := m.Tensors[a.TensorID]
 		ip.bufs[a.TensorID] = ip.arena[a.Offset : a.Offset+t.Elems()]
 	}
+	ip.scratch = ip.arena[plan.ArenaBytes:]
 	for i, op := range m.Ops {
 		switch op.Kind {
 		case graph.OpConv2D, graph.OpDWConv2D, graph.OpDense:
@@ -113,14 +131,39 @@ func (ip *Interpreter) OutputFloat() []float32 {
 	return res
 }
 
-// Invoke runs all ops in order.
+// Invoke runs all ops in order on the interpreter's engine. Errors name
+// the failing op's index, type and name so a CI benchmark failure is
+// diagnosable from the log alone.
 func (ip *Interpreter) Invoke() error {
 	for i, op := range ip.model.Ops {
-		if err := kernels.Run(ip.model, op, ip.ctxs[i], ip.bufs); err != nil {
-			return fmt.Errorf("tflm: op %d: %w", i, err)
+		if err := kernels.RunWith(ip.engine, ip.model, op, ip.ctxs[i], ip.bufs, ip.scratch); err != nil {
+			return fmt.Errorf("tflm: model %s: op %d (%s %q): %w", ip.model.Name, i, op.Kind, op.Name, err)
 		}
 	}
 	return nil
+}
+
+// InvokeBatch runs the model once per input buffer, reusing the memory
+// plan and prepared kernels across the whole batch, and returns one
+// freshly allocated quantized output per input. Each input must hold
+// exactly the model's input element count.
+func (ip *Interpreter) InvokeBatch(inputs [][]int8) ([][]int8, error) {
+	in := ip.model.Tensors[ip.model.Input]
+	outs := make([][]int8, len(inputs))
+	for b, x := range inputs {
+		if len(x) != in.Elems() {
+			return nil, fmt.Errorf("tflm: model %s: batch input %d has %d elements, model wants %d",
+				ip.model.Name, b, len(x), in.Elems())
+		}
+		copy(ip.Input(), x)
+		if err := ip.Invoke(); err != nil {
+			return nil, fmt.Errorf("tflm: batch input %d: %w", b, err)
+		}
+		out := make([]int8, len(ip.Output()))
+		copy(out, ip.Output())
+		outs[b] = out
+	}
+	return outs, nil
 }
 
 // Classify is a convenience wrapper: set input, invoke, return the argmax
@@ -140,4 +183,22 @@ func (ip *Interpreter) Classify(x *tensor.Tensor) (int, float32, error) {
 		}
 	}
 	return best, out[best], nil
+}
+
+// ClassifyBatch classifies a batch of float inputs through one planned
+// interpreter, amortizing memory planning and kernel preparation across
+// the batch. It returns the argmax class and dequantized top score per
+// input.
+func (ip *Interpreter) ClassifyBatch(xs []*tensor.Tensor) ([]int, []float32, error) {
+	classes := make([]int, len(xs))
+	scores := make([]float32, len(xs))
+	for i, x := range xs {
+		cls, score, err := ip.Classify(x)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tflm: batch input %d: %w", i, err)
+		}
+		classes[i] = cls
+		scores[i] = score
+	}
+	return classes, scores, nil
 }

@@ -11,10 +11,10 @@ import (
 // overhead for the TFLM interpreter is fairly minimal, requiring just 4KB
 // of SRAM and 37 KB of eFlash". "Other" captures application scaffolding.
 const (
-	InterpreterSRAMBytes = 4 * 1024
+	InterpreterSRAMBytes  = 4 * 1024
 	RuntimeCodeFlashBytes = 37 * 1024
-	OtherSRAMBytes  = 4 * 1024
-	OtherFlashBytes = 38 * 1024
+	OtherSRAMBytes        = 4 * 1024
+	OtherFlashBytes       = 38 * 1024
 )
 
 // MemoryReport is the full memory map of a deployed model — the data behind
@@ -29,10 +29,10 @@ type MemoryReport struct {
 	OtherSRAM       int
 
 	// Flash side.
-	WeightsFlash   int // weights + biases
+	WeightsFlash    int // weights + biases
 	QuantGraphFlash int // quantization params + graph definition
-	RuntimeFlash   int
-	OtherFlash     int
+	RuntimeFlash    int
+	OtherFlash      int
 }
 
 // PersistentBufferBytes models TFLM's per-model persistent allocations:

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"micronets/internal/graph"
+	"micronets/internal/kernels"
 )
 
 // Alignment of arena allocations, matching TFLM's kBufferAlignment.
@@ -18,18 +19,29 @@ const arenaAlign = 16
 
 // Allocation is one tensor's placement in the arena.
 type Allocation struct {
-	TensorID  int
-	Offset    int
-	Size      int
-	FirstUse  int // op index producing it (-1 for the model input)
-	LastUse   int // last op index consuming it
+	TensorID int
+	Offset   int
+	Size     int
+	FirstUse int // op index producing it (-1 for the model input)
+	LastUse  int // last op index consuming it
 }
 
-// Plan is the memory plan for a model.
+// Plan is the memory plan for a model. ArenaBytes covers the activation
+// tensors (the deployable SRAM number reported in the paper's tables);
+// ScratchBytes is the host-side im2col region the Gemm kernel engine
+// needs, placed immediately after the arena so all inference memory is
+// planner-accounted rather than hidden in ad-hoc kernel allocations. It
+// is excluded from device-fit checks because MCU deployments run the
+// direct (CMSIS-NN-style) convolution instead.
 type Plan struct {
-	Allocations []Allocation
-	ArenaBytes  int
+	Allocations  []Allocation
+	ArenaBytes   int
+	ScratchBytes int
 }
+
+// TotalBytes is the full host allocation: activation arena plus im2col
+// scratch.
+func (p *Plan) TotalBytes() int { return p.ArenaBytes + p.ScratchBytes }
 
 // lifetimes computes [firstUse, lastUse] op-index ranges per tensor.
 // The model input is alive from -1; the model output stays alive to the
@@ -121,7 +133,7 @@ func PlanMemory(m *graph.Model) (*Plan, error) {
 		}
 		placed = append(placed, a)
 	}
-	plan := &Plan{ArenaBytes: arena}
+	plan := &Plan{ArenaBytes: arena, ScratchBytes: alignUp(kernels.ScratchBytes(m))}
 	sort.Slice(placed, func(i, j int) bool { return placed[i].TensorID < placed[j].TensorID })
 	for _, a := range placed {
 		plan.Allocations = append(plan.Allocations, *a)

@@ -3,12 +3,14 @@ package tflm
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
-	ag "micronets/internal/autograd"
 	"micronets/internal/arch"
+	ag "micronets/internal/autograd"
 	"micronets/internal/graph"
+	"micronets/internal/kernels"
 	"micronets/internal/tensor"
 	"micronets/internal/zoo"
 )
@@ -293,6 +295,131 @@ func TestPaperMemoryCalibration(t *testing.T) {
 		}
 		if math.Abs(flash-c.flashKB)/c.flashKB > 0.25 {
 			t.Errorf("%s flash %.1f KB vs paper %.1f KB (>25%%)", c.name, flash, c.flashKB)
+		}
+	}
+}
+
+// TestEngineParityEndToEnd runs real zoo models through both kernel
+// engines and demands byte-identical outputs: the parallel GEMM path must
+// be a pure performance change.
+func TestEngineParityEndToEnd(t *testing.T) {
+	for _, name := range []string{"MicroNet-KWS-S", "MicroNet-VWW-2"} {
+		t.Run(name, func(t *testing.T) {
+			e, err := zoo.Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(3)), graph.LowerOptions{AppendSoftmax: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewInterpreterWithEngine(m, 0, kernels.Reference)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gemm, err := NewInterpreterWithEngine(m, 0, kernels.Gemm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(9))
+			for trial := 0; trial < 3; trial++ {
+				in := make([]int8, len(ref.Input()))
+				for i := range in {
+					in[i] = int8(rng.Intn(256) - 128)
+				}
+				copy(ref.Input(), in)
+				copy(gemm.Input(), in)
+				if err := ref.Invoke(); err != nil {
+					t.Fatal(err)
+				}
+				if err := gemm.Invoke(); err != nil {
+					t.Fatal(err)
+				}
+				for i := range ref.Output() {
+					if ref.Output()[i] != gemm.Output()[i] {
+						t.Fatalf("trial %d: out[%d] reference=%d gemm=%d",
+							trial, i, ref.Output()[i], gemm.Output()[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInvokeBatch checks the batched API agrees with one-at-a-time
+// invocation and validates input lengths.
+func TestInvokeBatch(t *testing.T) {
+	m := lowered(t, 5)
+	ip, err := NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	batch := make([][]int8, 4)
+	for b := range batch {
+		batch[b] = make([]int8, len(ip.Input()))
+		for i := range batch[b] {
+			batch[b][i] = int8(rng.Intn(256) - 128)
+		}
+	}
+	outs, err := ip.InvokeBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(batch) {
+		t.Fatalf("got %d outputs for %d inputs", len(outs), len(batch))
+	}
+	for b := range batch {
+		copy(ip.Input(), batch[b])
+		if err := ip.Invoke(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs[b] {
+			if outs[b][i] != ip.Output()[i] {
+				t.Fatalf("batch %d out[%d] = %d, single-invoke %d", b, i, outs[b][i], ip.Output()[i])
+			}
+		}
+	}
+	if _, err := ip.InvokeBatch([][]int8{make([]int8, 3)}); err == nil {
+		t.Fatal("InvokeBatch must reject wrong-sized inputs")
+	}
+}
+
+// TestScratchPlanned checks the im2col scratch is planner-accounted and
+// sized for the worst conv in the model.
+func TestScratchPlanned(t *testing.T) {
+	m := lowered(t, 6)
+	plan, err := PlanMemory(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := kernels.ScratchBytes(m); plan.ScratchBytes < want {
+		t.Fatalf("plan scratch %d below engine requirement %d", plan.ScratchBytes, want)
+	}
+	if plan.TotalBytes() != plan.ArenaBytes+plan.ScratchBytes {
+		t.Fatal("TotalBytes must be arena + scratch")
+	}
+}
+
+// TestInvokeErrorNamesOp checks the diagnosable-error satellite: an
+// unsupported op must surface its index, kind and name.
+func TestInvokeErrorNamesOp(t *testing.T) {
+	m := lowered(t, 8)
+	ip, err := NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt an op kind after planning to force a dispatch failure.
+	saved := m.Ops[1].Kind
+	m.Ops[1].Kind = graph.OpTransposedConv
+	defer func() { m.Ops[1].Kind = saved }()
+	err = ip.Invoke()
+	if err == nil {
+		t.Fatal("expected error for unsupported op")
+	}
+	for _, frag := range []string{"op 1", "TRANSPOSE_CONV", m.Ops[1].Name} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not name %q", err, frag)
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"micronets/internal/arch"
 	"micronets/internal/graph"
 	"micronets/internal/mcu"
+	"micronets/internal/tensor"
 	"micronets/internal/tflm"
 	"micronets/internal/zoo"
 )
@@ -121,6 +122,35 @@ func DeployModel(spec *arch.Spec, m *graph.Model, dev *mcu.Device) (*Deployment,
 		}
 	}
 	return d, nil
+}
+
+// ClassifyBatch lowers a spec once, plans its memory once, and runs every
+// input through the resulting interpreter on the parallel GEMM engine —
+// the batched analogue of Interpreter.Classify for search,
+// characterization and benchmark loops that amortizes graph lowering and
+// plan setup across the batch. It returns the argmax class and
+// dequantized top score per input.
+func ClassifyBatch(spec *arch.Spec, opts DeployOptions, xs []*tensor.Tensor) ([]int, []float32, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m, err := graph.FromSpec(spec, rng, graph.LowerOptions{
+		WeightBits:    opts.WeightBits,
+		ActBits:       opts.ActBits,
+		AppendSoftmax: opts.AppendSoftmax,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ClassifyModelBatch(m, xs)
+}
+
+// ClassifyModelBatch is ClassifyBatch for an already-lowered model (e.g.
+// a trained export).
+func ClassifyModelBatch(m *graph.Model, xs []*tensor.Tensor) ([]int, []float32, error) {
+	ip, err := tflm.NewInterpreter(m, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ip.ClassifyBatch(xs)
 }
 
 // Paper returns the published Table 4/2/3 numbers for a model, for

@@ -2,7 +2,12 @@ package micronets
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+
+	"micronets/internal/graph"
+	"micronets/internal/tensor"
+	"micronets/internal/tflm"
 )
 
 func TestModelAndDeployFacade(t *testing.T) {
@@ -82,5 +87,53 @@ func TestFourBitDeploySmaller(t *testing.T) {
 	}
 	if d4.LatencySeconds <= d8.LatencySeconds {
 		t.Fatal("4-bit emulation must cost latency (Figure 10)")
+	}
+}
+
+func TestClassifyBatchFacade(t *testing.T) {
+	spec, err := Model("MicroNet-KWS-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]*tensor.Tensor, 5)
+	for i := range xs {
+		xs[i] = tensor.Randn(rng, 1, 1, spec.InputH, spec.InputW, spec.InputC).
+			Reshape(spec.InputH, spec.InputW, spec.InputC)
+	}
+	classes, scores, err := ClassifyBatch(spec, DeployOptions{AppendSoftmax: true}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != len(xs) || len(scores) != len(xs) {
+		t.Fatalf("got %d classes / %d scores for %d inputs", len(classes), len(scores), len(xs))
+	}
+	for i, c := range classes {
+		if c < 0 || c >= spec.NumClasses {
+			t.Fatalf("input %d: class %d out of range", i, c)
+		}
+		if scores[i] < 0 || scores[i] > 1 {
+			t.Fatalf("input %d: softmax score %f out of range", i, scores[i])
+		}
+	}
+	// Batched classification must agree with the one-at-a-time facade on
+	// the same lowered model (same Seed -> same synthetic weights).
+	rng2 := rand.New(rand.NewSource(0))
+	m, err := graph.FromSpec(spec, rng2, graph.LowerOptions{AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := tflm.NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		cls, score, err := ip.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls != classes[i] || score != scores[i] {
+			t.Fatalf("input %d: batch (%d, %f) vs single (%d, %f)", i, classes[i], scores[i], cls, score)
+		}
 	}
 }
