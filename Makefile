@@ -26,4 +26,15 @@ lint:
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-ci: build lint test bench-smoke
+# serve runs the HTTP inference server on :8151 (all servable zoo models).
+.PHONY: serve
+serve:
+	$(GO) run ./cmd/serve
+
+# serve-smoke boots cmd/serve and proves a live /v2 round-trip — the same
+# script the CI serve-smoke job runs.
+.PHONY: serve-smoke
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: build lint test bench-smoke serve-smoke

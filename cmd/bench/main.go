@@ -5,13 +5,16 @@
 //
 //	bench                 # run everything
 //	bench -exp fig4       # one experiment: table1..table5, fig2..fig11, div4, engine
+//	bench -exp engine -json   # also write BENCH_engine.json (machine-readable)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 
 	"micronets/internal/experiments"
@@ -26,7 +29,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	exp := flag.String("exp", "all", "experiment id (table1..table5, fig2..fig11, div4, engine) or 'all'")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<exp>.json with machine-readable results, so the perf trajectory is tracked across PRs")
 	flag.Parse()
+
+	// engineRows caches the engine experiment's measurement so -json
+	// serializes the exact run that was printed, not a second timing.
+	var engineRows []experiments.EngineRow
 
 	runners := []struct {
 		id string
@@ -47,7 +55,14 @@ func main() {
 		{"table3", func() (string, error) { return experiments.Table3(seed) }},
 		{"table4", func() (string, error) { return experiments.Table4(seed) }},
 		{"div4", runDiv4},
-		{"engine", func() (string, error) { return experiments.RenderEngineComparison(seed) }},
+		{"engine", func() (string, error) {
+			rows, err := experiments.EngineComparison(experiments.EngineModels, seed)
+			if err != nil {
+				return "", err
+			}
+			engineRows = rows
+			return experiments.RenderEngineRows(rows), nil
+		}},
 	}
 	ran := false
 	for _, r := range runners {
@@ -60,10 +75,64 @@ func main() {
 			log.Fatalf("%s: %v", r.id, err)
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.id, out)
+		if *jsonOut {
+			if err := writeJSON(r.id, out, engineRows); err != nil {
+				log.Fatalf("%s: write json: %v", r.id, err)
+			}
+		}
 	}
 	if !ran {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+}
+
+// engineJSONRow is one (model, engine) perf point in BENCH_engine.json —
+// the cross-PR trajectory format for the host inference engines.
+type engineJSONRow struct {
+	Model      string  `json:"model"`
+	Engine     string  `json:"engine"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MMACs      float64 `json:"mmacs"`
+	Speedup    float64 `json:"speedup_vs_reference"`
+	ExactMatch bool    `json:"exact_match"`
+}
+
+// writeJSON writes BENCH_<id>.json. The engine experiment serializes the
+// same measured rows the text table rendered; text-only experiments get
+// the rendered report wrapped so every experiment is still diffable by
+// machine.
+func writeJSON(id, report string, rows []experiments.EngineRow) error {
+	path := fmt.Sprintf("BENCH_%s.json", id)
+	var payload any
+	if id == "engine" && rows != nil {
+		flat := make([]engineJSONRow, 0, 2*len(rows))
+		for _, r := range rows {
+			flat = append(flat,
+				engineJSONRow{Model: r.Model, Engine: "reference", NsPerOp: int64(r.ReferenceS * 1e9),
+					MMACs: float64(r.MACs) / 1e6, Speedup: 1, ExactMatch: r.AgreeOut},
+				engineJSONRow{Model: r.Model, Engine: "gemm", NsPerOp: int64(r.GemmS * 1e9),
+					MMACs: float64(r.MACs) / 1e6, Speedup: r.Speedup, ExactMatch: r.AgreeOut},
+			)
+		}
+		payload = map[string]any{"experiment": id, "rows": flat}
+	} else {
+		payload = map[string]any{"experiment": id, "report": report}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	return nil
 }
 
 func runFig3() (string, error) {

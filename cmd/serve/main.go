@@ -1,0 +1,90 @@
+// Command serve runs the HTTP inference server: zoo models behind a
+// KServe-v2-style JSON protocol with pre-warmed interpreter pools and
+// adaptive micro-batching.
+//
+// Usage:
+//
+//	serve                                   # serve every runtime-servable zoo model on :8151
+//	serve -models MicroNet-KWS-S,DSCNN-S    # a subset
+//	serve -max-batch 16 -max-delay 4ms      # wider batching window
+//
+// Endpoints:
+//
+//	GET  /v2/health/live | /v2/health/ready
+//	GET  /v2/models | /v2/models/{name}
+//	POST /v2/models/{name}/infer
+//	GET  /metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: readiness fails first, then
+// in-flight requests and queued batches finish before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"micronets"
+	"micronets/internal/zoo"
+)
+
+func main() {
+	addr := flag.String("addr", ":8151", "listen address")
+	models := flag.String("models", "all", "comma-separated zoo models to preload, or 'all' for every servable model")
+	pool := flag.Int("pool", 2, "pre-warmed interpreters per model")
+	maxBatch := flag.Int("max-batch", 8, "max requests coalesced into one InvokeBatch call")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait for the micro-batch window to fill")
+	weightBits := flag.Int("weight-bits", 8, "weight datatype (8, or 4 for emulated sub-byte kernels)")
+	actBits := flag.Int("act-bits", 8, "activation datatype (8 or 4)")
+	softmax := flag.Bool("softmax", true, "append the classifier softmax op")
+	seed := flag.Int64("seed", 42, "synthetic-weight seed (equal seeds serve bit-identical models)")
+	logFormat := flag.String("log", "text", "request log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logFormat == "json" {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	var names []string
+	if *models == "all" {
+		names = zoo.ServableNames()
+	} else {
+		for _, n := range strings.Split(*models, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := micronets.Serve(ctx, micronets.ServeOptions{
+		Addr:     *addr,
+		Models:   names,
+		PoolSize: *pool,
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		Logger:   logger,
+		Deploy: micronets.DeployOptions{
+			WeightBits:    *weightBits,
+			ActBits:       *actBits,
+			Seed:          *seed,
+			AppendSoftmax: *softmax,
+		},
+	})
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("drained, exiting")
+}

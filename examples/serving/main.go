@@ -1,0 +1,117 @@
+// Serving example: boot the in-process inference server on a loopback
+// port, hit the KServe-v2 endpoints like an external client, and print
+// the classification — the smallest end-to-end tour of the
+// registry → pool → micro-batcher → engine path.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"micronets"
+)
+
+const model = "MicroNet-KWS-S"
+
+func main() {
+	log.SetFlags(0)
+	// Quiet the per-request log so the example output stays readable.
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr := "127.0.0.1:18151"
+	done := make(chan error, 1)
+	go func() {
+		done <- micronets.Serve(ctx, micronets.ServeOptions{
+			Addr:   addr,
+			Models: []string{model, "DSCNN-S"},
+			Logger: logger,
+			Deploy: micronets.DeployOptions{Seed: 42, AppendSoftmax: true},
+		})
+	}()
+
+	base := "http://" + addr
+	waitReady(base)
+
+	var meta struct {
+		Inputs []struct {
+			Shape []int `json:"shape"`
+		} `json:"inputs"`
+	}
+	getJSON(base+"/v2/models/"+model, &meta)
+	shape := meta.Inputs[0].Shape
+	elems := shape[0] * shape[1] * shape[2]
+	fmt.Printf("model %s ready, input shape %v\n", model, shape)
+
+	// A synthetic "spectrogram": any FP32 payload of the right length.
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = float64(i%7)/7.0 - 0.5
+	}
+	body, _ := json.Marshal(map[string]any{
+		"inputs": []map[string]any{{
+			"name": "input", "datatype": "FP32", "shape": shape, "data": data,
+		}},
+	})
+	resp, err := http.Post(base+"/v2/models/"+model+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Outputs []struct {
+			Name string    `json:"name"`
+			Data []float64 `json:"data"`
+		} `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range out.Outputs {
+		switch o.Name {
+		case "class":
+			fmt.Printf("argmax class: %d\n", int(o.Data[0]))
+		case "score":
+			fmt.Printf("top score:    %.4f\n", o.Data[0])
+		}
+	}
+
+	cancel() // SIGTERM-equivalent: drain and exit
+	if err := <-done; err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	fmt.Println("server drained cleanly")
+}
+
+func waitReady(base string) {
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/v2/health/ready")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("server never became ready")
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

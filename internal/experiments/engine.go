@@ -101,14 +101,26 @@ func EngineComparison(names []string, seed int64) ([]EngineRow, error) {
 	return rows, nil
 }
 
-// RenderEngineComparison formats EngineComparison as a text table.
+// EngineModels is the default model set for the engine comparison —
+// shared by the text report and cmd/bench's BENCH_engine.json so both
+// always describe the same measurement.
+var EngineModels = []string{
+	"MicroNet-KWS-S", "MicroNet-KWS-M", "MicroNet-VWW-1", "MicroNet-VWW-2",
+}
+
+// RenderEngineComparison measures EngineModels and formats the result.
 func RenderEngineComparison(seed int64) (string, error) {
-	rows, err := EngineComparison([]string{
-		"MicroNet-KWS-S", "MicroNet-KWS-M", "MicroNet-VWW-1", "MicroNet-VWW-2",
-	}, seed)
+	rows, err := EngineComparison(EngineModels, seed)
 	if err != nil {
 		return "", err
 	}
+	return RenderEngineRows(rows), nil
+}
+
+// RenderEngineRows formats already-measured engine rows as a text table,
+// letting callers render and serialize one timing run instead of paying
+// (and potentially disagreeing across) two.
+func RenderEngineRows(rows []EngineRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Host inference engines: naive direct conv vs parallel im2col+GEMM\n")
 	fmt.Fprintf(&b, "%-18s %10s %12s %12s %9s %7s\n", "model", "MMACs", "naive (ms)", "gemm (ms)", "speedup", "exact")
@@ -117,5 +129,5 @@ func RenderEngineComparison(seed int64) (string, error) {
 			r.Model, float64(r.MACs)/1e6, r.ReferenceS*1e3, r.GemmS*1e3, r.Speedup, r.AgreeOut)
 	}
 	b.WriteString("(both engines produce bit-identical int8 outputs; see kernels parity tests)\n")
-	return b.String(), nil
+	return b.String()
 }

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDraining is returned by Submit once the batcher has been closed —
+// the server is shutting down and no longer accepts work.
+var ErrDraining = errors.New("serve: batcher draining")
+
+// BatcherConfig bounds the micro-batching window.
+type BatcherConfig struct {
+	// MaxBatch is the most requests coalesced into one InvokeBatch call
+	// (default 8).
+	MaxBatch int
+	// MaxDelay is the longest a lone request waits for company before the
+	// window closes (default 2ms). Under sparse traffic the effective
+	// window adaptively shrinks well below this, so idle-period requests
+	// pay almost none of it.
+	MaxDelay time.Duration
+}
+
+func (c *BatcherConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+}
+
+// Batcher coalesces concurrent requests for one model into single
+// InvokeBatch calls. A single collector goroutine gathers requests until
+// the batch is full or the adaptive window expires, then runs the whole
+// batch on one pooled interpreter. The window adapts to traffic: a full
+// batch resets it to MaxDelay (waiting is paying off), a singleton batch
+// halves it (down to MaxDelay/8) so sparse traffic is served near-
+// immediately instead of always eating the worst-case delay.
+type Batcher struct {
+	entry *Entry
+	cfg   BatcherConfig
+
+	mu     sync.RWMutex
+	closed bool
+	reqs   chan *batchReq
+	// wg tracks the collector; flushWg tracks dispatched flushes.
+	wg      sync.WaitGroup
+	flushWg sync.WaitGroup
+
+	// windowNs is the current adaptive gather window, exported to
+	// /metrics as a gauge.
+	windowNs atomic.Int64
+}
+
+type batchReq struct {
+	in   []int8
+	resp chan batchResp
+}
+
+type batchResp struct {
+	out []int8
+	err error
+}
+
+// NewBatcher starts the collector goroutine for an entry.
+func NewBatcher(entry *Entry, cfg BatcherConfig) *Batcher {
+	cfg.fill()
+	b := &Batcher{
+		entry: entry,
+		cfg:   cfg,
+		reqs:  make(chan *batchReq, 4*cfg.MaxBatch),
+	}
+	b.windowNs.Store(int64(cfg.MaxDelay))
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Window returns the current adaptive gather window.
+func (b *Batcher) Window() time.Duration { return time.Duration(b.windowNs.Load()) }
+
+// Close stops accepting work, flushes everything already queued, and
+// waits for the collector and all in-flight flushes to finish. Safe to
+// call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.reqs)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	b.flushWg.Wait()
+}
+
+// Submit queues one quantized input and blocks until its batch has run.
+// Input length is validated here, before the request joins a batch, so a
+// malformed request can never fail its co-batched neighbors. The returned
+// buffer is owned by the caller.
+func (b *Batcher) Submit(ctx context.Context, in []int8) ([]int8, error) {
+	want := b.entry.Model.Tensors[b.entry.Model.Input].Elems()
+	if len(in) != want {
+		b.entry.stats.errors.Add(1)
+		return nil, fmt.Errorf("serve: model %s: input has %d elements, want %d", b.entry.Name, len(in), want)
+	}
+	r := &batchReq{in: in, resp: make(chan batchResp, 1)}
+	start := time.Now()
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case b.reqs <- r:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		b.entry.stats.errors.Add(1)
+		return nil, ctx.Err()
+	}
+	// The request is now owned by the collector and will always be
+	// answered — even a context cancellation here just abandons the
+	// buffered reply.
+	select {
+	case resp := <-r.resp:
+		b.entry.stats.observeLatency(time.Since(start))
+		if resp.err != nil {
+			b.entry.stats.errors.Add(1)
+		}
+		return resp.out, resp.err
+	case <-ctx.Done():
+		b.entry.stats.errors.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// run is the collector loop: wait for a first request, gather until full
+// or the window closes, flush, adapt the window.
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	window := b.cfg.MaxDelay
+	for {
+		first, ok := <-b.reqs
+		if !ok {
+			return
+		}
+		batch := []*batchReq{first}
+		timer := time.NewTimer(window)
+	gather:
+		for len(batch) < b.cfg.MaxBatch {
+			select {
+			case r, ok := <-b.reqs:
+				if !ok {
+					break gather
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break gather
+			}
+		}
+		timer.Stop()
+		b.flush(batch)
+		switch {
+		case len(batch) >= b.cfg.MaxBatch:
+			window = b.cfg.MaxDelay
+		case len(batch) == 1:
+			if window > b.cfg.MaxDelay/8 {
+				window /= 2
+			}
+		}
+		b.windowNs.Store(int64(window))
+	}
+}
+
+// flush acquires an interpreter — blocking when every pooled arena is
+// busy, which is the batcher's backpressure — and dispatches the batch to
+// run concurrently. With a pool of N, up to N batches execute in parallel
+// while the collector goes straight back to gathering the next one, so
+// pre-warmed arenas beyond the first actually carry traffic.
+func (b *Batcher) flush(batch []*batchReq) {
+	ip := b.entry.Pool.Get()
+	b.flushWg.Add(1)
+	go func() {
+		defer b.flushWg.Done()
+		inputs := make([][]int8, len(batch))
+		for i, r := range batch {
+			inputs[i] = r.in
+		}
+		// An InvokeBatch error (impossible for length-validated inputs
+		// short of a kernel bug) fails every request in the batch
+		// identically.
+		outs, err := ip.InvokeBatch(inputs)
+		if err != nil {
+			ip.Reset()
+		}
+		b.entry.Pool.Put(ip)
+		b.entry.stats.observeBatch(len(batch))
+		for i, r := range batch {
+			if err != nil {
+				r.resp <- batchResp{err: err}
+				continue
+			}
+			r.resp <- batchResp{out: outs[i]}
+		}
+	}()
+}
+
+// stats holds one entry's serving counters, updated with atomics from the
+// handler, Submit, and collector goroutines.
+type stats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	batches  atomic.Uint64
+	batchSum atomic.Uint64
+	batchMax atomic.Uint64
+	latNsSum atomic.Uint64
+	latCount atomic.Uint64
+}
+
+func (s *stats) observeBatch(n int) {
+	s.batches.Add(1)
+	s.batchSum.Add(uint64(n))
+	s.requests.Add(uint64(n))
+	for {
+		cur := s.batchMax.Load()
+		if uint64(n) <= cur || s.batchMax.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+func (s *stats) observeLatency(d time.Duration) {
+	s.latNsSum.Add(uint64(d.Nanoseconds()))
+	s.latCount.Add(1)
+}
+
+// StatsSnapshot is a point-in-time copy of one model's counters.
+type StatsSnapshot struct {
+	Requests     uint64
+	Errors       uint64
+	Batches      uint64
+	BatchSizeSum uint64
+	BatchSizeMax uint64
+	LatencyNsSum uint64
+	LatencyCount uint64
+}
+
+func (s *stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Requests:     s.requests.Load(),
+		Errors:       s.errors.Load(),
+		Batches:      s.batches.Load(),
+		BatchSizeSum: s.batchSum.Load(),
+		BatchSizeMax: s.batchMax.Load(),
+		LatencyNsSum: s.latNsSum.Load(),
+		LatencyCount: s.latCount.Load(),
+	}
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestEntry(t *testing.T, poolSize int) *Entry {
+	t.Helper()
+	reg := NewRegistry(RegistryConfig{PoolSize: poolSize})
+	entry, err := reg.Get("MicroNet-KWS-S", ModelOptions{Seed: 42, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
+func validInput(e *Entry) []int8 {
+	return make([]int8, e.Model.Tensors[e.Model.Input].Elems())
+}
+
+// TestBatcherCoalescesConcurrentRequests is the acceptance-criterion load
+// test: N concurrent submits must land in strictly fewer InvokeBatch
+// calls, with at least one batch of ≥ 2.
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	entry := newTestEntry(t, 1)
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 8, MaxDelay: 25 * time.Millisecond})
+	defer b.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), validInput(entry))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := entry.Stats()
+	if st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.BatchSizeMax < 2 {
+		t.Fatalf("micro-batcher never coalesced: max batch %d, want >= 2", st.BatchSizeMax)
+	}
+	if st.Batches >= n {
+		t.Fatalf("batches = %d for %d requests: no coalescing", st.Batches, n)
+	}
+	t.Logf("coalesced %d requests into %d batches (max %d)", st.Requests, st.Batches, st.BatchSizeMax)
+}
+
+// TestBatcherAdaptiveWindow: singleton traffic shrinks the gather window;
+// a full batch restores it to MaxDelay.
+func TestBatcherAdaptiveWindow(t *testing.T) {
+	entry := newTestEntry(t, 2)
+	const maxDelay = 8 * time.Millisecond
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 4, MaxDelay: maxDelay})
+	defer b.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, err := b.Submit(context.Background(), validInput(entry)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := b.Window(); w >= maxDelay {
+		t.Fatalf("window after sparse traffic = %v, want < %v", w, maxDelay)
+	}
+	if w := b.Window(); w < maxDelay/8 {
+		t.Fatalf("window shrank below floor: %v < %v", w, maxDelay/8)
+	}
+
+	// Saturate: a full batch must reset the window to MaxDelay.
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Submit(context.Background(), validInput(entry))
+		}()
+	}
+	wg.Wait()
+	if entry.Stats().BatchSizeMax >= 4 {
+		if w := b.Window(); w != maxDelay {
+			t.Fatalf("window after full batch = %v, want %v", w, maxDelay)
+		}
+	}
+}
+
+// TestBatcherRejectsWrongLengthWithoutPoisoningBatch: a malformed request
+// fails fast and a concurrent valid one still succeeds.
+func TestBatcherRejectsWrongLengthWithoutPoisoningBatch(t *testing.T) {
+	entry := newTestEntry(t, 1)
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 8, MaxDelay: 10 * time.Millisecond})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); _, goodErr = b.Submit(context.Background(), validInput(entry)) }()
+	go func() { defer wg.Done(); _, badErr = b.Submit(context.Background(), make([]int8, 3)) }()
+	wg.Wait()
+	if goodErr != nil {
+		t.Fatalf("valid request failed alongside malformed one: %v", goodErr)
+	}
+	if badErr == nil || !strings.Contains(badErr.Error(), "3 elements") {
+		t.Fatalf("malformed request: err = %v", badErr)
+	}
+}
+
+// TestBatcherParallelFlushes: with a pool of 2 the collector dispatches
+// batches concurrently instead of serializing on one interpreter; every
+// request still completes exactly once (Close waits for in-flight
+// flushes, so lost replies would hang or fail this test).
+func TestBatcherParallelFlushes(t *testing.T) {
+	entry := newTestEntry(t, 2)
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond})
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), validInput(entry))
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if st := entry.Stats(); st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+}
+
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	entry := newTestEntry(t, 1)
+	b := NewBatcher(entry, BatcherConfig{})
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Submit(context.Background(), validInput(entry)); err != ErrDraining {
+		t.Fatalf("submit after close: err = %v, want ErrDraining", err)
+	}
+}
+
+func TestBatcherSubmitCancelledContext(t *testing.T) {
+	entry := newTestEntry(t, 1)
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Either the send or the wait observes cancellation; both are valid,
+	// but a non-nil result with a cancelled context must never hang.
+	done := make(chan struct{})
+	go func() {
+		_, _ = b.Submit(ctx, validInput(entry))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit hung on cancelled context")
+	}
+}

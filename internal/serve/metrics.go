@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders the serving counters in Prometheus text
+// exposition format, hand-rolled so the repo stays dependency-free. Gauge
+// vs counter and the _sum/_count latency pair follow the conventions a
+// real scraper expects.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP micronets_serve_uptime_seconds Seconds since the server finished warm-up.\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "micronets_serve_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "# HELP micronets_serve_models_loaded Models preloaded into the registry.\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_models_loaded gauge\n")
+	fmt.Fprintf(&b, "micronets_serve_models_loaded %d\n", len(s.models))
+	fmt.Fprintf(&b, "# HELP micronets_serve_lowerings_total Graph lowerings performed (cache misses).\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_lowerings_total counter\n")
+	fmt.Fprintf(&b, "micronets_serve_lowerings_total %d\n", s.reg.Lowerings())
+
+	counter := func(name, help string, val func(*servedModel) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, e := range s.reg.Entries() {
+			m, ok := s.models[e.Name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{model=%q} %d\n", name, e.Name, val(m))
+		}
+	}
+	counter("micronets_serve_requests_total", "Inference requests completed (batched rows).",
+		func(m *servedModel) uint64 { return m.entry.Stats().Requests })
+	counter("micronets_serve_request_errors_total", "Requests that failed (bad input, cancelled, drained, invoke error).",
+		func(m *servedModel) uint64 { return m.entry.Stats().Errors })
+	counter("micronets_serve_batches_total", "InvokeBatch calls issued by the micro-batcher.",
+		func(m *servedModel) uint64 { return m.entry.Stats().Batches })
+	counter("micronets_serve_batch_size_sum", "Sum of coalesced batch sizes (divide by batches for the mean).",
+		func(m *servedModel) uint64 { return m.entry.Stats().BatchSizeSum })
+	counter("micronets_serve_batch_size_max", "Largest batch coalesced so far.",
+		func(m *servedModel) uint64 { return m.entry.Stats().BatchSizeMax })
+	counter("micronets_serve_request_latency_seconds_count", "Requests with measured queue+invoke latency.",
+		func(m *servedModel) uint64 { return m.entry.Stats().LatencyCount })
+
+	fmt.Fprintf(&b, "# HELP micronets_serve_request_latency_seconds_sum Total queue+invoke latency.\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_request_latency_seconds_sum counter\n")
+	for _, e := range s.reg.Entries() {
+		if m, ok := s.models[e.Name]; ok {
+			fmt.Fprintf(&b, "micronets_serve_request_latency_seconds_sum{model=%q} %.6f\n",
+				e.Name, float64(m.entry.Stats().LatencyNsSum)/1e9)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP micronets_serve_batch_window_seconds Current adaptive micro-batch gather window.\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_batch_window_seconds gauge\n")
+	for _, e := range s.reg.Entries() {
+		if m, ok := s.models[e.Name]; ok {
+			fmt.Fprintf(&b, "micronets_serve_batch_window_seconds{model=%q} %.6f\n",
+				e.Name, m.batcher.Window().Seconds())
+		}
+	}
+	fmt.Fprintf(&b, "# HELP micronets_serve_arena_bytes Arena bytes per pooled interpreter.\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_arena_bytes gauge\n")
+	for _, e := range s.reg.Entries() {
+		if m, ok := s.models[e.Name]; ok {
+			fmt.Fprintf(&b, "micronets_serve_arena_bytes{model=%q} %d\n", e.Name, m.entry.ArenaBytes)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sync"
+
+	"micronets/internal/graph"
+	"micronets/internal/tflm"
+)
+
+// Pool is a bounded set of interpreters for one model. Every interpreter
+// owns its own arena, so any two requests holding distinct pooled
+// interpreters may Invoke concurrently; the pool exists to make
+// "distinct" cheap by paying memory planning and kernel preparation once
+// per slot instead of once per request. `prewarm` interpreters are built
+// up front; under concurrent demand the pool lazily grows up to `max`, so
+// callers are never serialized below the configured parallelism while an
+// idle model still costs only the pre-warmed arenas.
+type Pool struct {
+	model *graph.Model
+	// ch's capacity is the pool bound; idle interpreters sit in it.
+	ch      chan *tflm.Interpreter
+	mu      sync.Mutex
+	created int
+}
+
+// NewPool plans and prepares prewarm interpreters up front, allowing lazy
+// growth to max (max < prewarm is raised to prewarm). It fails like
+// NewInterpreter does (unsupported ops, invalid graph), so a Pool that
+// constructs successfully can always serve — later lazy constructions of
+// the same model cannot fail except under memory exhaustion, in which
+// case Get falls back to waiting for an existing interpreter.
+func NewPool(m *graph.Model, prewarm, max int) (*Pool, error) {
+	if prewarm <= 0 {
+		prewarm = 1
+	}
+	if max < prewarm {
+		max = prewarm
+	}
+	p := &Pool{model: m, ch: make(chan *tflm.Interpreter, max)}
+	for i := 0; i < prewarm; i++ {
+		ip, err := tflm.NewInterpreter(m, 0)
+		if err != nil {
+			return nil, err
+		}
+		p.created++
+		p.ch <- ip
+	}
+	return p, nil
+}
+
+// Size returns the pool bound (max concurrent interpreters).
+func (p *Pool) Size() int { return cap(p.ch) }
+
+// Created returns how many interpreters exist (pre-warmed + lazily grown).
+func (p *Pool) Created() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}
+
+// ArenaBytes returns the arena cost of one pooled interpreter.
+func (p *Pool) ArenaBytes() int {
+	ip := p.Get()
+	defer p.Put(ip)
+	return ip.ArenaBytes()
+}
+
+// grow tries to construct one more interpreter within the bound. It
+// returns nil when the pool is already at max (or construction failed, a
+// can't-happen-short-of-OOM case given warm-up succeeded).
+func (p *Pool) grow() *tflm.Interpreter {
+	p.mu.Lock()
+	if p.created >= cap(p.ch) {
+		p.mu.Unlock()
+		return nil
+	}
+	p.created++
+	p.mu.Unlock()
+	ip, err := tflm.NewInterpreter(p.model, 0)
+	if err != nil {
+		p.mu.Lock()
+		p.created--
+		p.mu.Unlock()
+		return nil
+	}
+	return ip
+}
+
+// Get returns an idle interpreter, growing the pool if none is free and
+// the bound allows; otherwise it blocks until one is released. Callers
+// must Put it back.
+func (p *Pool) Get() *tflm.Interpreter {
+	select {
+	case ip := <-p.ch:
+		return ip
+	default:
+	}
+	if ip := p.grow(); ip != nil {
+		return ip
+	}
+	return <-p.ch
+}
+
+// Put returns an interpreter to the pool. Callers that observed an Invoke
+// error must Reset the interpreter first (see Interpreter.Reset); on the
+// success path the arena contents are overwritten by the next request's
+// input, so no scrub is needed.
+func (p *Pool) Put(ip *tflm.Interpreter) { p.ch <- ip }

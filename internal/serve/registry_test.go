@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"micronets/internal/tensor"
+	"micronets/internal/zoo"
+)
+
+func TestRegistryCachesLowering(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+	e1, err := reg.Get("MicroNet-KWS-S", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg.Get("MicroNet-KWS-S", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatal("same name+options must return the same cached entry")
+	}
+	if n := reg.Lowerings(); n != 1 {
+		t.Fatalf("lowerings = %d, want 1", n)
+	}
+	// Different options are a different lowering.
+	if _, err := reg.Get("MicroNet-KWS-S", ModelOptions{Seed: 43, AppendSoftmax: true}); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Lowerings(); n != 2 {
+		t.Fatalf("lowerings after seed change = %d, want 2", n)
+	}
+}
+
+// TestRegistrySpecFingerprint: a rebuilt spec with the same name but
+// different blocks must not collide in the cache.
+func TestRegistrySpecFingerprint(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	opts := ModelOptions{Seed: 42}
+	a := zoo.MicroNetKWSS()
+	b := zoo.MicroNetKWSS()
+	b.Blocks[1].OutC = 64 // same name, different architecture
+	ea, err := reg.GetSpec(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := reg.GetSpec(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea == eb {
+		t.Fatal("distinct architectures with equal names collided in the cache")
+	}
+	if n := reg.Lowerings(); n != 2 {
+		t.Fatalf("lowerings = %d, want 2", n)
+	}
+}
+
+// TestRegistryConcurrentGetSharesOneLowering: concurrent first requests
+// for a model must block on a single lowering, not duplicate it.
+func TestRegistryConcurrentGetSharesOneLowering(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	opts := ModelOptions{Seed: 42}
+	var wg sync.WaitGroup
+	entries := make([]*Entry, 8)
+	for i := range entries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := reg.Get("DSCNN-S", opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range entries {
+		if e != entries[0] {
+			t.Fatal("concurrent gets returned different entries")
+		}
+	}
+	if n := reg.Lowerings(); n != 1 {
+		t.Fatalf("lowerings = %d, want 1", n)
+	}
+}
+
+// TestRegistryEvictsLRU: a bounded registry drops the least-recently-used
+// entry instead of growing forever — the guard that keeps DNAS-style
+// sweeps over thousands of candidate specs from leaking lowered models.
+func TestRegistryEvictsLRU(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1, MaxEntries: 2})
+	opts := ModelOptions{Seed: 42}
+	mkSpec := func(c int) *Entry {
+		s := zoo.MicroNetKWSS()
+		s.Blocks[1].OutC = c
+		e, err := reg.GetSpec(s, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a := mkSpec(16)
+	mkSpec(24)
+	mkSpec(16) // refresh a
+	mkSpec(32) // evicts the 24-channel spec, not a
+	if got := len(reg.Entries()); got != 2 {
+		t.Fatalf("registry holds %d entries, want 2", got)
+	}
+	lowerings := reg.Lowerings()
+	if e := mkSpec(16); e != a {
+		t.Fatal("recently used entry was evicted")
+	}
+	if reg.Lowerings() != lowerings {
+		t.Fatal("hitting a retained entry must not re-lower")
+	}
+	mkSpec(24) // was evicted: must lower again, not serve stale
+	if reg.Lowerings() != lowerings+1 {
+		t.Fatalf("evicted entry not re-lowered (lowerings %d)", reg.Lowerings())
+	}
+}
+
+// TestPoolLazyGrowth: with PoolMax above PoolSize the pool grows under
+// demand instead of serializing callers, and never beyond the bound.
+func TestPoolLazyGrowth(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1, PoolMax: 3})
+	entry, err := reg.Get("MicroNet-KWS-S", ModelOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := entry.Pool
+	if p.Created() != 1 || p.Size() != 3 {
+		t.Fatalf("prewarmed=%d max=%d, want 1 and 3", p.Created(), p.Size())
+	}
+	a, b, c := p.Get(), p.Get(), p.Get()
+	if a == b || b == c || a == c {
+		t.Fatal("pool handed out a shared interpreter")
+	}
+	if p.Created() != 3 {
+		t.Fatalf("created = %d after 3 concurrent Gets, want 3", p.Created())
+	}
+	p.Put(a)
+	p.Put(b)
+	p.Put(c)
+	// At the bound, Get must reuse rather than grow.
+	d := p.Get()
+	defer p.Put(d)
+	if p.Created() != 3 {
+		t.Fatalf("pool grew past its bound: created = %d", p.Created())
+	}
+}
+
+// TestRegistryNormalizesDefaultBits: zero-value and explicit int8
+// datatypes lower identically, so they must share one cache entry.
+func TestRegistryNormalizesDefaultBits(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	a, err := reg.Get("MicroNet-KWS-S", ModelOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Get("MicroNet-KWS-S", ModelOptions{WeightBits: 8, ActBits: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("bits {0,0} and {8,8} must share one cache entry")
+	}
+	if n := reg.Lowerings(); n != 1 {
+		t.Fatalf("lowerings = %d, want 1", n)
+	}
+}
+
+// TestRegistryEntriesDuringLowering: listing entries concurrently with
+// first-time lowerings must be race-free (run under -race) and only
+// return completed entries.
+func TestRegistryEntriesDuringLowering(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, e := range reg.Entries() {
+				if e.Model == nil {
+					t.Error("Entries returned a partially published entry")
+					return
+				}
+			}
+		}
+	}()
+	for _, name := range []string{"MicroNet-KWS-S", "DSCNN-S", "MBNETV2-S"} {
+		if _, err := reg.Get(name, ModelOptions{Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+}
+
+func TestRegistryRejectsStatsOnlyAndUnknown(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{})
+	if _, err := reg.Get("ProxylessNas", ModelOptions{}); err == nil {
+		t.Fatal("stats-only model must not be servable")
+	}
+	if _, err := reg.Get("nope", ModelOptions{}); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestEntryClassifyBatch(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 2})
+	entry, err := reg.Get("MicroNet-KWS-S", ModelOptions{Seed: 42, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := entry.Model.Tensors[entry.Model.Input].Elems()
+	xs := []*tensor.Tensor{tensor.New(elems), tensor.New(elems)}
+	classes, scores, err := entry.ClassifyBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || len(scores) != 2 {
+		t.Fatalf("got %d classes / %d scores, want 2/2", len(classes), len(scores))
+	}
+	// A wrong-sized input errors and the pooled interpreter remains
+	// usable afterwards.
+	if _, _, err := entry.ClassifyBatch([]*tensor.Tensor{tensor.New(3)}); err == nil {
+		t.Fatal("wrong-sized input must error")
+	}
+	if _, _, err := entry.ClassifyBatch(xs); err != nil {
+		t.Fatalf("pool poisoned after error: %v", err)
+	}
+}

@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micronets/internal/graph"
+	"micronets/internal/zoo"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Models are the zoo names to preload; empty defaults to the full
+	// servable catalogue (zoo.ServableNames).
+	Models []string
+	// Options selects the lowering (bits, seed, softmax) shared by every
+	// served model.
+	Options ModelOptions
+	// PoolSize is interpreters pre-warmed per model (default 2).
+	PoolSize int
+	// Batch bounds the micro-batching window.
+	Batch BatcherConfig
+	// Logger receives one structured line per request (default
+	// slog.Default).
+	Logger *slog.Logger
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+	// DrainGrace is how long the readiness probe fails before the
+	// listener closes (default 500ms), giving load balancers a window to
+	// stop routing here instead of seeing connection-refused mid-deploy.
+	// Set negative to skip the wait (tests, examples).
+	DrainGrace time.Duration
+}
+
+// servedModel is one model's full serving chain.
+type servedModel struct {
+	entry   *Entry
+	batcher *Batcher
+}
+
+// Server is the HTTP inference server. Construct with New (which preloads
+// and pool-warms every model, so readiness implies zero cold-start on the
+// request path), mount Handler on any listener, and Close to drain.
+type Server struct {
+	cfg    Config
+	reg    *Registry
+	models map[string]*servedModel
+	mux    *http.ServeMux
+	log    *slog.Logger
+	ready  atomic.Bool
+	start  time.Time
+
+	closeOnce sync.Once
+}
+
+// New preloads cfg.Models into a fresh registry and starts one batcher
+// per model. It returns an error if any model cannot be lowered or
+// planned — a server that constructs is fully warm.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		cfg.Models = zoo.ServableNames()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.DrainGrace == 0 {
+		cfg.DrainGrace = 500 * time.Millisecond
+	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    NewRegistry(RegistryConfig{PoolSize: cfg.PoolSize}),
+		models: make(map[string]*servedModel, len(cfg.Models)),
+		log:    cfg.Logger,
+		start:  time.Now(),
+	}
+	for _, name := range cfg.Models {
+		if _, dup := s.models[name]; dup {
+			continue // a repeated name must not leak the first batcher
+		}
+		entry, err := s.reg.Get(name, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		s.models[name] = &servedModel{entry: entry, batcher: NewBatcher(entry, cfg.Batch)}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v2/health/live", s.handleLive)
+	s.mux.HandleFunc("GET /v2/health/ready", s.handleReady)
+	s.mux.HandleFunc("GET /v2/models", s.handleModels)
+	s.mux.HandleFunc("GET /v2/models/{name}", s.handleModelMeta)
+	s.mux.HandleFunc("POST /v2/models/{name}/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Handler returns the fully routed handler wrapped in request logging.
+func (s *Server) Handler() http.Handler { return s.logMiddleware(s.mux) }
+
+// Close marks the server not-ready and drains every batcher: queued
+// requests finish, new Submits fail with ErrDraining. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.ready.Store(false)
+		for _, m := range s.models {
+			m.batcher.Close()
+		}
+	})
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then drains: the
+// readiness probe starts failing (so load balancers stop routing here),
+// in-flight requests get DrainTimeout to finish, and the batchers are
+// flushed. This is the SIGTERM path of cmd/serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.log.Info("serving", "addr", ln.Addr().String(), "models", len(s.models),
+		"pool_size", s.reg.cfg.PoolSize, "max_batch", s.cfg.Batch.MaxBatch)
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.ready.Store(false)
+	s.log.Info("draining", "grace", s.cfg.DrainGrace.String(), "timeout", s.cfg.DrainTimeout.String())
+	// Fail readiness for a grace window BEFORE closing the listener, so
+	// probing load balancers route traffic away instead of hitting
+	// connection-refused.
+	if s.cfg.DrainGrace > 0 {
+		time.Sleep(s.cfg.DrainGrace)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(shutCtx)
+	s.Close()
+	if err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}
+
+// ---- KServe open-inference-protocol (v2) JSON types ----
+
+// v2Tensor is one named tensor in an infer request or response.
+type v2Tensor struct {
+	Name     string    `json:"name"`
+	Shape    []int     `json:"shape"`
+	Datatype string    `json:"datatype"`
+	Data     []float64 `json:"data"`
+}
+
+type v2InferRequest struct {
+	ID     string     `json:"id,omitempty"`
+	Inputs []v2Tensor `json:"inputs"`
+}
+
+type v2InferResponse struct {
+	ModelName string     `json:"model_name"`
+	ID        string     `json:"id,omitempty"`
+	Outputs   []v2Tensor `json:"outputs"`
+}
+
+type v2Error struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	type modelState struct {
+		Name  string `json:"name"`
+		Task  string `json:"task"`
+		State string `json:"state"`
+	}
+	entries := s.reg.Entries()
+	out := make([]modelState, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, modelState{Name: e.Name, Task: e.Spec.Task, State: "READY"})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleModelMeta(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.models[r.PathValue("name")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, v2Error{Error: fmt.Sprintf("model %q not loaded", r.PathValue("name"))})
+		return
+	}
+	mod := m.entry.Model
+	in := mod.Tensors[mod.Input]
+	out := mod.Tensors[mod.Output]
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":     m.entry.Name,
+		"versions": []string{"1"},
+		"platform": "micronets-go-tflm",
+		"inputs": []map[string]any{{
+			"name": "input", "datatype": "FP32",
+			"shape": []int{in.H, in.W, in.C},
+			"quantization": map[string]any{
+				"scale": in.Scale, "zero_point": in.ZeroPoint, "bits": in.Bits,
+			},
+		}},
+		"outputs": []map[string]any{{
+			"name": "scores", "datatype": "FP32",
+			"shape": []int{out.Elems()},
+		}},
+		"details": map[string]any{
+			"task":        m.entry.Spec.Task,
+			"macs":        mod.TotalMACs(),
+			"flash_bytes": mod.FlashBytes(),
+			"arena_bytes": m.entry.ArenaBytes,
+			"pool_size":   m.entry.Pool.Size(),
+		},
+	})
+}
+
+// handleInfer decodes a v2 infer request, quantizes (or passes through)
+// the input rows, pushes each row through the model's micro-batcher, and
+// answers with the dequantized score vector plus argmax class and top
+// score per row. A leading batch dimension is allowed: shape [n, h, w, c]
+// (or data of n×elems values) fans out to n concurrent batcher submits,
+// which the batcher then coalesces back into few InvokeBatch calls.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.models[r.PathValue("name")]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, v2Error{Error: fmt.Sprintf("model %q not loaded", r.PathValue("name"))})
+		return
+	}
+	mod := m.entry.Model
+	elems := mod.Tensors[mod.Input].Elems()
+	// Bound the body before decoding: ~24 bytes per JSON float for a full
+	// client batch plus envelope headroom. One oversized POST must not be
+	// able to exhaust server memory.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(1<<16)+24*int64(elems)*maxInferRows)
+	var req v2InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, v2Error{Error: fmt.Sprintf(
+				"request body exceeds %d bytes (max client batch is %d rows)", tooBig.Limit, maxInferRows)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Inputs) != 1 {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf("want exactly 1 input tensor, got %d", len(req.Inputs))})
+		return
+	}
+	in := req.Inputs[0]
+	n, err := batchRows(in, mod.Tensors[mod.Input])
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf("input %q: %v (model %s)", in.Name, err, m.entry.Name)})
+		return
+	}
+	rows := make([][]int8, n)
+	for b := 0; b < n; b++ {
+		row, err := quantizeRow(mod, in.Datatype, in.Data[b*elems:(b+1)*elems])
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, v2Error{Error: err.Error()})
+			return
+		}
+		rows[b] = row
+	}
+
+	outs := make([][]int8, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for b := range rows {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			outs[b], errs[b] = m.batcher.Submit(r.Context(), rows[b])
+		}(b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, ErrDraining) {
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, v2Error{Error: err.Error()})
+			return
+		}
+	}
+
+	outT := mod.Tensors[mod.Output]
+	scores := make([]float64, 0, n*outT.Elems())
+	classes := make([]float64, n)
+	top := make([]float64, n)
+	for b, out := range outs {
+		best := 0
+		for i, q := range out {
+			v := float64(outT.Scale) * float64(int32(q)-outT.ZeroPoint)
+			scores = append(scores, v)
+			if q > out[best] {
+				best = i
+			}
+		}
+		classes[b] = float64(best)
+		top[b] = float64(outT.Scale) * float64(int32(out[best])-outT.ZeroPoint)
+	}
+	writeJSON(w, http.StatusOK, v2InferResponse{
+		ModelName: m.entry.Name,
+		ID:        req.ID,
+		Outputs: []v2Tensor{
+			{Name: "scores", Datatype: "FP32", Shape: []int{n, outT.Elems()}, Data: scores},
+			{Name: "class", Datatype: "INT32", Shape: []int{n}, Data: classes},
+			{Name: "score", Datatype: "FP32", Shape: []int{n}, Data: top},
+		},
+	})
+}
+
+// maxInferRows caps the leading client-side batch dimension of one infer
+// request; the request-body limit is derived from it.
+const maxInferRows = 64
+
+// batchRows validates an input tensor's shape and data length against the
+// model's input and returns the client batch size. Accepted shapes:
+// absent (batch inferred from data length), [elems], [h,w,c], and their
+// batched forms [n,elems] / [n,h,w,c]. A shape whose element count or
+// layout disagrees with the model is rejected rather than silently
+// reinterpreted — the metadata endpoint advertises the layout, so a
+// transposed shape is a client bug worth a 400.
+func batchRows(in v2Tensor, t *graph.Tensor) (int, error) {
+	elems := t.Elems()
+	if len(in.Data) == 0 || len(in.Data)%elems != 0 {
+		return 0, fmt.Errorf("has %d values, want a multiple of %d", len(in.Data), elems)
+	}
+	n := len(in.Data) / elems
+	if n > maxInferRows {
+		return 0, fmt.Errorf("client batch of %d rows exceeds the per-request max of %d", n, maxInferRows)
+	}
+	if len(in.Shape) == 0 {
+		return n, nil
+	}
+	prod := 1
+	for _, d := range in.Shape {
+		prod *= d
+	}
+	if prod != len(in.Data) {
+		return 0, fmt.Errorf("shape %v describes %d elements, data has %d", in.Shape, prod, len(in.Data))
+	}
+	ok := false
+	switch s := in.Shape; len(s) {
+	case 1:
+		ok = s[0] == elems && n == 1
+	case 2:
+		ok = s[0] == n && s[1] == elems
+	case 3:
+		ok = s[0] == t.H && s[1] == t.W && s[2] == t.C && n == 1
+	case 4:
+		ok = s[0] == n && s[1] == t.H && s[2] == t.W && s[3] == t.C
+	}
+	if !ok {
+		return 0, fmt.Errorf("shape %v incompatible with model input [%d %d %d]", in.Shape, t.H, t.W, t.C)
+	}
+	return n, nil
+}
+
+// quantizeRow converts one input row to the model's quantized domain:
+// FP32 rows go through the affine input quantization (the server-side
+// analogue of Interpreter.SetInputFloat), INT8 rows are range-checked and
+// passed through raw.
+func quantizeRow(mod *graph.Model, datatype string, data []float64) ([]int8, error) {
+	in := mod.Tensors[mod.Input]
+	row := make([]int8, len(data))
+	lo, hi := int32(-128), int32(127)
+	if in.Bits == 4 {
+		lo, hi = -8, 7
+	}
+	switch datatype {
+	case "", "FP32":
+		for i, v := range data {
+			q := int32(math.Round(v/float64(in.Scale))) + in.ZeroPoint
+			if q < lo {
+				q = lo
+			}
+			if q > hi {
+				q = hi
+			}
+			row[i] = int8(q)
+		}
+	case "INT8":
+		for i, v := range data {
+			q := int32(v)
+			if float64(q) != v || q < lo || q > hi {
+				return nil, fmt.Errorf("INT8 input value %v out of range [%d,%d]", v, lo, hi)
+			}
+			row[i] = int8(q)
+		}
+	default:
+		return nil, fmt.Errorf("unsupported datatype %q (want FP32 or INT8)", datatype)
+	}
+	return row, nil
+}
+
+// statusWriter captures the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// logMiddleware emits one structured line per request.
+func (s *Server) logMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"micronets/internal/tensor"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+// testModels are small KWS models so the suite stays fast.
+var testModels = []string{"MicroNet-KWS-S", "DSCNN-S"}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Models:  testModels,
+		Options: ModelOptions{Seed: 42, AppendSoftmax: true},
+		Batch:   BatcherConfig{MaxBatch: 8, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return out
+}
+
+func TestHealthAndModelListing(t *testing.T) {
+	_, ts := newTestServer(t)
+	if out := getJSON(t, ts.URL+"/v2/health/live", 200); out["live"] != true {
+		t.Fatalf("live = %v", out)
+	}
+	if out := getJSON(t, ts.URL+"/v2/health/ready", 200); out["ready"] != true {
+		t.Fatalf("ready = %v", out)
+	}
+	out := getJSON(t, ts.URL+"/v2/models", 200)
+	models, _ := out["models"].([]any)
+	if len(models) != len(testModels) {
+		t.Fatalf("models = %v, want %d entries", out, len(testModels))
+	}
+
+	meta := getJSON(t, ts.URL+"/v2/models/MicroNet-KWS-S", 200)
+	if meta["name"] != "MicroNet-KWS-S" || meta["platform"] != "micronets-go-tflm" {
+		t.Fatalf("metadata = %v", meta)
+	}
+	inputs := meta["inputs"].([]any)
+	shape := inputs[0].(map[string]any)["shape"].([]any)
+	if fmt.Sprint(shape) != "[49 10 1]" {
+		t.Fatalf("KWS input shape = %v", shape)
+	}
+	getJSON(t, ts.URL+"/v2/models/NoSuchModel", 404)
+}
+
+// inferOnce POSTs one FP32 row and returns the decoded response.
+func inferOnce(t *testing.T, url, model string, data []float64) v2InferResponse {
+	t.Helper()
+	// Shape is optional in the protocol; shape handling has its own test.
+	body, _ := json.Marshal(v2InferRequest{ID: "t1", Inputs: []v2Tensor{{
+		Name: "input", Datatype: "FP32", Data: data,
+	}}})
+	resp, err := http.Post(url+"/v2/models/"+model+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		var e v2Error
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("infer %s: status %d: %s", model, resp.StatusCode, e.Error)
+	}
+	var out v2InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func output(resp v2InferResponse, name string) *v2Tensor {
+	for i := range resp.Outputs {
+		if resp.Outputs[i].Name == name {
+			return &resp.Outputs[i]
+		}
+	}
+	return nil
+}
+
+// TestInferMatchesDirectInterpreter answers the acceptance criterion: a
+// real /infer POST returns the argmax class + score for two zoo models,
+// and they are bit-identical to a directly constructed interpreter at the
+// same seed.
+func TestInferMatchesDirectInterpreter(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, name := range testModels {
+		rng := rand.New(rand.NewSource(7))
+		e, err := zoo.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+		data := make([]float64, elems)
+		x := tensor.New(elems)
+		for i := range data {
+			v := rng.Float64()*2 - 1
+			data[i] = v
+			x.Data[i] = float32(v)
+		}
+
+		resp := inferOnce(t, ts.URL, name, data)
+		class := output(resp, "class")
+		score := output(resp, "score")
+		scores := output(resp, "scores")
+		if class == nil || score == nil || scores == nil {
+			t.Fatalf("%s: response missing outputs: %+v", name, resp)
+		}
+		if len(scores.Data) != e.Spec.NumClasses {
+			t.Fatalf("%s: got %d scores, want %d", name, len(scores.Data), e.Spec.NumClasses)
+		}
+
+		// Same lowering as the registry performs (seed 42, softmax).
+		reg := NewRegistry(RegistryConfig{PoolSize: 1})
+		entry, err := reg.Get(name, ModelOptions{Seed: 42, AppendSoftmax: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip, err := tflm.NewInterpreter(entry.Model, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantClass, wantScore, err := ip.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(class.Data[0]) != wantClass {
+			t.Fatalf("%s: served class %v, direct %d", name, class.Data[0], wantClass)
+		}
+		if got := float32(score.Data[0]); got != wantScore {
+			t.Fatalf("%s: served score %v, direct %v", name, got, wantScore)
+		}
+	}
+}
+
+// TestInferClientBatch sends one request with a leading batch dimension
+// and checks per-row outputs line up with single-row requests.
+func TestInferClientBatch(t *testing.T) {
+	_, ts := newTestServer(t)
+	e, _ := zoo.Get("MicroNet-KWS-S")
+	elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+	rng := rand.New(rand.NewSource(11))
+	const n = 3
+	data := make([]float64, n*elems)
+	for i := range data {
+		data[i] = rng.Float64()*2 - 1
+	}
+	resp := inferOnce(t, ts.URL, "MicroNet-KWS-S", data)
+	class := output(resp, "class")
+	if len(class.Data) != n {
+		t.Fatalf("client batch: got %d classes, want %d", len(class.Data), n)
+	}
+	for b := 0; b < n; b++ {
+		single := inferOnce(t, ts.URL, "MicroNet-KWS-S", data[b*elems:(b+1)*elems])
+		if output(single, "class").Data[0] != class.Data[b] {
+			t.Fatalf("row %d: batched class %v != single class %v", b, class.Data[b], output(single, "class").Data[0])
+		}
+	}
+}
+
+func TestInferBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != 400 {
+		t.Fatalf("bad JSON: status %d", code)
+	}
+	if code := post(`{"inputs":[]}`); code != 400 {
+		t.Fatalf("no inputs: status %d", code)
+	}
+	if code := post(`{"inputs":[{"name":"input","datatype":"FP32","shape":[3],"data":[1,2,3]}]}`); code != 400 {
+		t.Fatalf("wrong length: status %d", code)
+	}
+	if code := post(`{"inputs":[{"name":"input","datatype":"FP64","shape":[490],"data":[` + strings.Repeat("0,", 489) + `0]}]}`); code != 400 {
+		t.Fatalf("bad datatype: status %d", code)
+	}
+	// INT8 out-of-range value.
+	if code := post(`{"inputs":[{"name":"input","datatype":"INT8","shape":[490],"data":[999` + strings.Repeat(",0", 489) + `]}]}`); code != 400 {
+		t.Fatalf("INT8 range: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v2/models/NoSuchModel/infer", "application/json", strings.NewReader(`{"inputs":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown model: status %d", resp.StatusCode)
+	}
+}
+
+// TestInferShapeValidation: the declared shape must agree with the
+// model's input layout — a transposed or wrong-count shape is a 400, the
+// documented layouts (flat, [h,w,c], batched variants, absent) are 200.
+func TestInferShapeValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	post := func(shape []int, n int) int {
+		t.Helper()
+		data := make([]float64, n*490)
+		body, _ := json.Marshal(v2InferRequest{Inputs: []v2Tensor{{
+			Name: "input", Datatype: "FP32", Shape: shape, Data: data,
+		}}})
+		resp, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, ok := range [][]int{nil, {490}, {49, 10, 1}, {2, 490}, {2, 49, 10, 1}} {
+		n := 1
+		if len(ok) > 0 && (len(ok) == 2 || len(ok) == 4) {
+			n = ok[0]
+		}
+		if code := post(ok, n); code != 200 {
+			t.Fatalf("shape %v: status %d, want 200", ok, code)
+		}
+	}
+	for _, bad := range [][]int{{10, 49, 1}, {490, 1, 1}, {980}, {49, 10}} {
+		if code := post(bad, 1); code != 400 {
+			t.Fatalf("shape %v: status %d, want 400", bad, code)
+		}
+	}
+	// Shape/data element-count mismatch.
+	if code := post([]int{49, 10, 1}, 2); code != 400 {
+		t.Fatalf("shape [49 10 1] with 2 rows of data: status %d, want 400", code)
+	}
+}
+
+// TestInferBodyLimit: a client batch beyond maxInferRows is rejected, and
+// a body larger than the derived limit gets 413 instead of exhausting
+// memory.
+func TestInferBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t)
+	data := make([]float64, (maxInferRows+1)*490)
+	body, _ := json.Marshal(v2InferRequest{Inputs: []v2Tensor{{Name: "input", Datatype: "FP32", Data: data}}})
+	resp, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 && resp.StatusCode != 413 {
+		t.Fatalf("oversized batch: status %d, want 400 or 413", resp.StatusCode)
+	}
+
+	// A body past the MaxBytesReader limit either gets a 413 or the
+	// server cuts the connection mid-upload (also acceptable); what it
+	// must never do is 200.
+	huge := strings.NewReader(`{"inputs":[{"name":"input","data":[` + strings.Repeat("0.123456789,", 500_000) + `0]}]}`)
+	resp2, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", huge)
+	if err != nil {
+		return // connection cut by the server: limit enforced
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp2.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	e, _ := zoo.Get("MicroNet-KWS-S")
+	elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+	inferOnce(t, ts.URL, "MicroNet-KWS-S", make([]float64, elems))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"micronets_serve_models_loaded 2",
+		"micronets_serve_lowerings_total 2",
+		`micronets_serve_requests_total{model="MicroNet-KWS-S"} 1`,
+		`micronets_serve_batches_total{model="MicroNet-KWS-S"} 1`,
+		`micronets_serve_arena_bytes{model="MicroNet-KWS-S"}`,
+		`micronets_serve_batch_window_seconds{model="DSCNN-S"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestDuplicateModelNames: a repeated name in Config.Models must not
+// start (and leak) a second batcher for the same model.
+func TestDuplicateModelNames(t *testing.T) {
+	s, err := New(Config{
+		Models:  []string{"MicroNet-KWS-S", "MicroNet-KWS-S"},
+		Options: ModelOptions{Seed: 42},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(s.models) != 1 {
+		t.Fatalf("loaded %d models for a duplicated name, want 1", len(s.models))
+	}
+}
+
+// TestDrain checks the lifecycle: after Close, readiness fails and infer
+// returns 503.
+func TestDrain(t *testing.T) {
+	s, ts := newTestServer(t)
+	s.Close()
+	getJSON(t, ts.URL+"/v2/health/ready", 503)
+	e, _ := zoo.Get("MicroNet-KWS-S")
+	elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+	body, _ := json.Marshal(v2InferRequest{Inputs: []v2Tensor{{Name: "input", Datatype: "FP32", Data: make([]float64, elems)}}})
+	resp, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("infer after drain: status %d, want 503", resp.StatusCode)
+	}
+}

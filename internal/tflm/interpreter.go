@@ -86,6 +86,21 @@ func NewInterpreterWithEngine(m *graph.Model, arenaLimit int, eng kernels.Engine
 // Model returns the underlying model.
 func (ip *Interpreter) Model() *graph.Model { return ip.model }
 
+// ArenaBytes returns the interpreter's total arena size (activations plus
+// engine scratch) — what one pooled replica of this model costs in RAM.
+func (ip *Interpreter) ArenaBytes() int { return len(ip.arena) }
+
+// Reset zeroes the activation arena and scratch region, returning the
+// interpreter to its freshly allocated state. Serving pools call it before
+// reusing an interpreter whose last Invoke failed, so a partial execution
+// cannot leak stale activations into the next request. It never fails and
+// keeps the memory plan and prepared kernels intact.
+func (ip *Interpreter) Reset() {
+	for i := range ip.arena {
+		ip.arena[i] = 0
+	}
+}
+
 // Plan returns the memory plan.
 func (ip *Interpreter) Plan() *Plan { return ip.plan }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -420,6 +421,157 @@ func TestInvokeErrorNamesOp(t *testing.T) {
 	for _, frag := range []string{"op 1", "TRANSPOSE_CONV", m.Ops[1].Name} {
 		if !strings.Contains(err.Error(), frag) {
 			t.Fatalf("error %q does not name %q", err, frag)
+		}
+	}
+}
+
+// TestInvokeBatchEmpty: an empty batch is a no-op, not an error.
+func TestInvokeBatchEmpty(t *testing.T) {
+	ip, err := NewInterpreter(lowered(t, 9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := ip.InvokeBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 {
+		t.Fatalf("empty batch produced %d outputs", len(outs))
+	}
+}
+
+// TestInvokeBatchErrorNamesIndex: a wrong-length input deep in the batch
+// is rejected naming its position, and after Reset the same interpreter
+// serves a clean batch — the pooled-reuse contract of the serving layer.
+func TestInvokeBatchErrorNamesIndex(t *testing.T) {
+	ip, err := NewInterpreter(lowered(t, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := make([]int8, len(ip.Input()))
+	for i := range good {
+		good[i] = int8(i % 100)
+	}
+	_, err = ip.InvokeBatch([][]int8{good, make([]int8, 3)})
+	if err == nil {
+		t.Fatal("wrong-length input must error")
+	}
+	if !strings.Contains(err.Error(), "input 1") {
+		t.Fatalf("error %q does not name the failing batch index", err)
+	}
+
+	// Post-error reuse: reset, then the interpreter must produce the same
+	// output as a freshly constructed one.
+	ip.Reset()
+	outs, err := ip.InvokeBatch([][]int8{good})
+	if err != nil {
+		t.Fatalf("reused interpreter after error: %v", err)
+	}
+	fresh, err := NewInterpreter(ip.Model(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.InvokeBatch([][]int8{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want[0] {
+		if outs[0][i] != want[0][i] {
+			t.Fatalf("post-error reuse diverged at out[%d]: %d vs %d", i, outs[0][i], want[0][i])
+		}
+	}
+}
+
+// TestResetZeroesArena: Reset must return the arena to its freshly
+// allocated state.
+func TestResetZeroesArena(t *testing.T) {
+	ip, err := NewInterpreter(lowered(t, 11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ip.Input() {
+		ip.Input()[i] = 77
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	ip.Reset()
+	for i, v := range ip.arena {
+		if v != 0 {
+			t.Fatalf("arena[%d] = %d after Reset", i, v)
+		}
+	}
+	if ip.ArenaBytes() != len(ip.arena) {
+		t.Fatal("ArenaBytes must report the full arena")
+	}
+}
+
+// TestPooledInterpretersConcurrentNoAliasing is the -race satellite: two
+// interpreters over the same model serve interleaved concurrent batches
+// and must match the serial baseline bit-for-bit — proving pooled
+// replicas share no arena state.
+func TestPooledInterpretersConcurrentNoAliasing(t *testing.T) {
+	m := lowered(t, 12)
+	serial, err := NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	const perWorker = 6
+	rng := rand.New(rand.NewSource(33))
+	inputs := make([][][]int8, workers)
+	want := make([][][]int8, workers)
+	for w := 0; w < workers; w++ {
+		inputs[w] = make([][]int8, perWorker)
+		for r := range inputs[w] {
+			in := make([]int8, len(serial.Input()))
+			for i := range in {
+				in[i] = int8(rng.Intn(256) - 128)
+			}
+			inputs[w][r] = in
+		}
+		want[w], err = serial.InvokeBatch(inputs[w])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ips := make([]*Interpreter, workers)
+	for w := range ips {
+		if ips[w], err = NewInterpreter(m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	got := make([][][]int8, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One row at a time to maximize interleaving between workers.
+			for _, in := range inputs[w] {
+				outs, err := ips[w].InvokeBatch([][]int8{in})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				got[w] = append(got[w], outs[0])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		for r := range want[w] {
+			for i := range want[w][r] {
+				if got[w][r][i] != want[w][r][i] {
+					t.Fatalf("worker %d row %d out[%d]: concurrent %d != serial %d (arena aliasing?)",
+						w, r, i, got[w][r][i], want[w][r][i])
+				}
+			}
 		}
 	}
 }

@@ -149,3 +149,24 @@ func TestMicroNetSizeOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestServableNames: the serving registry's preload set must include the
+// deployable reproductions and exclude stats-only entries and the
+// transposed-conv Conv-AE (Table 3 "ND").
+func TestServableNames(t *testing.T) {
+	names := ServableNames()
+	servable := make(map[string]bool, len(names))
+	for _, n := range names {
+		servable[n] = true
+	}
+	for _, want := range []string{"MicroNet-KWS-S", "MicroNet-VWW-2", "DSCNN-S", "FC-AE(Baseline)"} {
+		if !servable[want] {
+			t.Fatalf("%s missing from ServableNames %v", want, names)
+		}
+	}
+	for _, reject := range []string{"Conv-AE", "ProxylessNas", "MSNet"} {
+		if servable[reject] {
+			t.Fatalf("%s must not be servable", reject)
+		}
+	}
+}

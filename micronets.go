@@ -16,12 +16,18 @@
 package micronets
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
+	"net/http"
+	"runtime"
+	"time"
 
 	"micronets/internal/arch"
 	"micronets/internal/graph"
 	"micronets/internal/mcu"
+	"micronets/internal/serve"
 	"micronets/internal/tensor"
 	"micronets/internal/tflm"
 	"micronets/internal/zoo"
@@ -124,23 +130,49 @@ func DeployModel(spec *arch.Spec, m *graph.Model, dev *mcu.Device) (*Deployment,
 	return d, nil
 }
 
-// ClassifyBatch lowers a spec once, plans its memory once, and runs every
-// input through the resulting interpreter on the parallel GEMM engine —
-// the batched analogue of Interpreter.Classify for search,
-// characterization and benchmark loops that amortizes graph lowering and
-// plan setup across the batch. It returns the argmax class and
-// dequantized top score per input.
-func ClassifyBatch(spec *arch.Spec, opts DeployOptions, xs []*tensor.Tensor) ([]int, []float32, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	m, err := graph.FromSpec(spec, rng, graph.LowerOptions{
+// classifyRegistry caches lowered models behind ClassifyBatch and
+// Preload, so search/characterization loops that re-classify the same
+// spec amortize lowering and memory planning across calls, not just
+// within one batch. The cache is LRU-bounded so a DNAS search sweeping
+// thousands of distinct candidate specs cannot grow memory without bound,
+// and pools lazily grow to GOMAXPROCS so concurrent callers classifying
+// the same spec are not serialized onto one interpreter.
+var classifyRegistry = serve.NewRegistry(serve.RegistryConfig{
+	PoolSize:   1,
+	PoolMax:    runtime.GOMAXPROCS(0),
+	MaxEntries: 32,
+})
+
+// modelOptions maps the public DeployOptions onto the serving registry's
+// cache key.
+func modelOptions(opts DeployOptions) serve.ModelOptions {
+	return serve.ModelOptions{
 		WeightBits:    opts.WeightBits,
 		ActBits:       opts.ActBits,
+		Seed:          opts.Seed,
 		AppendSoftmax: opts.AppendSoftmax,
-	})
+	}
+}
+
+// ClassifyBatch runs every input through a pooled interpreter for the
+// spec on the parallel GEMM engine — the batched analogue of
+// Interpreter.Classify for search, characterization and benchmark loops.
+// The lowered graph and its memory plan are cached in a process-wide
+// registry keyed by the spec and options, so repeat calls for the same
+// model pay neither lowering nor planning again. It returns the argmax
+// class and dequantized top score per input.
+func ClassifyBatch(spec *arch.Spec, opts DeployOptions, xs []*tensor.Tensor) ([]int, []float32, error) {
+	entry, err := classifyRegistry.GetSpec(spec, modelOptions(opts))
 	if err != nil {
 		return nil, nil, err
 	}
-	return ClassifyModelBatch(m, xs)
+	return entry.ClassifyBatch(xs)
+}
+
+// Preload warms the ClassifyBatch registry for a set of zoo models, so a
+// serving or evaluation loop's first request pays no lowering latency.
+func Preload(names []string, opts DeployOptions) error {
+	return classifyRegistry.Preload(names, modelOptions(opts))
 }
 
 // ClassifyModelBatch is ClassifyBatch for an already-lowered model (e.g.
@@ -151,6 +183,65 @@ func ClassifyModelBatch(m *graph.Model, xs []*tensor.Tensor) ([]int, []float32, 
 		return nil, nil, err
 	}
 	return ip.ClassifyBatch(xs)
+}
+
+// ServeOptions configures the HTTP inference server (see internal/serve
+// for the subsystem: model registry → interpreter pools → adaptive
+// micro-batcher → kernels engine).
+type ServeOptions struct {
+	// Addr is the listen address (default ":8151").
+	Addr string
+	// Models are zoo names to preload; empty serves every
+	// runtime-servable catalogue model.
+	Models []string
+	// PoolSize is pre-warmed interpreters per model (default 2).
+	PoolSize int
+	// MaxBatch and MaxDelay bound the micro-batching window (defaults 8
+	// and 2ms).
+	MaxBatch int
+	MaxDelay time.Duration
+	// Logger receives one structured line per request.
+	Logger *slog.Logger
+	// Deploy selects the lowering (bits, seed, softmax) for every model.
+	Deploy DeployOptions
+}
+
+func (o ServeOptions) config() serve.Config {
+	return serve.Config{
+		Models:   o.Models,
+		Options:  modelOptions(o.Deploy),
+		PoolSize: o.PoolSize,
+		Batch:    serve.BatcherConfig{MaxBatch: o.MaxBatch, MaxDelay: o.MaxDelay},
+		Logger:   o.Logger,
+	}
+}
+
+// Serve preloads the requested models and serves the KServe-v2-style
+// inference protocol (/v2/health/*, /v2/models, /v2/models/{name}/infer,
+// /metrics) until ctx is cancelled, then drains gracefully. This is the
+// long-lived serving path behind cmd/serve.
+func Serve(ctx context.Context, opts ServeOptions) error {
+	srv, err := serve.New(opts.config())
+	if err != nil {
+		return err
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = ":8151"
+	}
+	return srv.ListenAndServe(ctx, addr)
+}
+
+// ServeHandler returns the fully warmed inference handler without binding
+// a listener — for embedding the serving surface into an existing HTTP
+// server or tests. The caller owns the returned server's lifecycle; call
+// its Close to drain the batchers.
+func ServeHandler(opts ServeOptions) (http.Handler, *serve.Server, error) {
+	srv, err := serve.New(opts.config())
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv.Handler(), srv, nil
 }
 
 // Paper returns the published Table 4/2/3 numbers for a model, for

@@ -1,8 +1,12 @@
 package micronets
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"micronets/internal/graph"
@@ -135,5 +139,100 @@ func TestClassifyBatchFacade(t *testing.T) {
 		if cls != classes[i] || score != scores[i] {
 			t.Fatalf("input %d: batch (%d, %f) vs single (%d, %f)", i, classes[i], scores[i], cls, score)
 		}
+	}
+}
+
+// TestClassifyBatchAmortizesLowering: repeat ClassifyBatch calls for the
+// same spec and options must hit the registry cache instead of re-lowering
+// the graph and re-planning memory (PR 2 satellite fix).
+func TestClassifyBatchAmortizesLowering(t *testing.T) {
+	spec, err := Model("MicroNet-KWS-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DeployOptions{Seed: 1234, AppendSoftmax: true}
+	elems := spec.InputH * spec.InputW * spec.InputC
+	xs := []*tensor.Tensor{tensor.New(elems)}
+
+	if _, _, err := ClassifyBatch(spec, opts, xs); err != nil {
+		t.Fatal(err)
+	}
+	before := classifyRegistry.Lowerings()
+	c1, s1, err := ClassifyBatch(spec, opts, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := classifyRegistry.Lowerings(); got != before {
+		t.Fatalf("second ClassifyBatch re-lowered the graph (lowerings %d -> %d)", before, got)
+	}
+	// And the cached path still agrees with a from-scratch lowering.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m, err := graph.FromSpec(spec, rng, graph.LowerOptions{AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := tflm.NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, wantS, err := ip.ClassifyBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1[0] != wantC[0] || s1[0] != wantS[0] {
+		t.Fatalf("cached ClassifyBatch (%d, %f) diverged from fresh lowering (%d, %f)",
+			c1[0], s1[0], wantC[0], wantS[0])
+	}
+}
+
+// TestServeHandlerEndToEnd: the public embedding entry point serves a
+// live infer round-trip.
+func TestServeHandlerEndToEnd(t *testing.T) {
+	h, srv, err := ServeHandler(ServeOptions{
+		Models: []string{"MicroNet-KWS-S"},
+		Deploy: DeployOptions{Seed: 42, AppendSoftmax: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v2/health/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ready: status %d", resp.StatusCode)
+	}
+	body := `{"inputs":[{"name":"input","datatype":"FP32","shape":[490],"data":[` +
+		strings.Repeat("0.5,", 489) + `0.5]}]}`
+	r2, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != 200 {
+		t.Fatalf("infer: status %d", r2.StatusCode)
+	}
+	var out struct {
+		Outputs []struct {
+			Name string    `json:"name"`
+			Data []float64 `json:"data"`
+		} `json:"outputs"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range out.Outputs {
+		if o.Name == "class" && len(o.Data) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no argmax class in response: %+v", out)
 	}
 }

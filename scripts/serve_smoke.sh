@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — build cmd/serve, boot it in the background, and prove
+# one real /v2 round-trip: readiness, model metadata, and an infer POST
+# whose response carries an argmax class. Used by `make serve-smoke` and
+# the CI serve-smoke job (keep the two in sync by editing only this file).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${SERVE_SMOKE_PORT:-8151}"
+BIN="$(mktemp -d)/micronets-serve"
+MODEL="MicroNet-KWS-S"
+
+go build -o "$BIN" ./cmd/serve
+
+"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S" -log json &
+PID=$!
+cleanup() { kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/v2/health/ready" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v2/health/ready" | jq -e '.ready == true' >/dev/null
+echo "ready OK"
+
+curl -fsS "http://$ADDR/v2/models" | jq -e '.models | length == 2' >/dev/null
+curl -fsS "http://$ADDR/v2/models/$MODEL" | jq -e '.inputs[0].shape == [49,10,1]' >/dev/null
+echo "metadata OK"
+
+PAYLOAD=$(jq -n '{inputs:[{name:"input",shape:[49,10,1],datatype:"FP32",data:[range(490)|0.25]}]}')
+RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "$PAYLOAD" "http://$ADDR/v2/models/$MODEL/infer")
+echo "$RESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1' >/dev/null
+echo "$RESP" | jq -e '.outputs[] | select(.name=="scores") | .data | length == 12' >/dev/null
+echo "infer OK: class $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]') score $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="score") | .data[0]]')"
+
+curl -fsS "http://$ADDR/metrics" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"} 1'
+echo "metrics OK"
+
+# Graceful drain: SIGTERM must flip readiness and exit zero.
+kill -TERM "$PID"
+wait "$PID"
+echo "drain OK"
+trap - EXIT
+echo "serve smoke: all checks passed"
