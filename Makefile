@@ -9,7 +9,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -31,10 +31,31 @@ lint:
 serve:
 	$(GO) run ./cmd/serve
 
-# serve-smoke boots cmd/serve and proves a live /v2 round-trip — the same
-# script the CI serve-smoke job runs.
+# serve-smoke runs the NAS search, boots cmd/serve and proves a live /v2
+# round-trip (including an exported frontier model) — the same script the
+# CI serve-smoke job runs.
 .PHONY: serve-smoke
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: build lint test bench-smoke serve-smoke
+# fuzz-smoke runs each kernels fuzz target briefly, as CI does.
+.PHONY: fuzz-smoke
+fuzz-smoke:
+	for target in FuzzConv2DParity FuzzDWConv2DParity FuzzDenseParity FuzzRequantize; do \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime 10s ./internal/kernels || exit 1; \
+	done
+
+# cover enforces the CI coverage floor on the numerics-critical packages.
+.PHONY: cover
+cover:
+	$(GO) test -coverprofile=coverage.out \
+		-coverpkg=./internal/kernels,./internal/tflm \
+		./internal/kernels ./internal/tflm
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# search runs the hardware-in-the-loop NAS harness with defaults.
+.PHONY: search
+search:
+	$(GO) run ./cmd/search
+
+ci: build lint test bench-smoke fuzz-smoke serve-smoke cover

@@ -28,13 +28,15 @@ const seed = 42
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	exp := flag.String("exp", "all", "experiment id (table1..table5, fig2..fig11, div4, engine) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (table1..table5, fig2..fig11, div4, engine, search) or 'all'")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<exp>.json with machine-readable results, so the perf trajectory is tracked across PRs")
+	searchLog := flag.String("search-log", "", "JSONL trial log for -exp search: a matching prior cmd/search run is resumed instead of re-evaluated")
 	flag.Parse()
 
-	// engineRows caches the engine experiment's measurement so -json
-	// serializes the exact run that was printed, not a second timing.
+	// engineRows/searchRows cache those experiments' measurements so -json
+	// serializes the exact run that was printed, not a second one.
 	var engineRows []experiments.EngineRow
+	var searchRows []experiments.SearchRow
 
 	runners := []struct {
 		id string
@@ -63,6 +65,14 @@ func main() {
 			engineRows = rows
 			return experiments.RenderEngineRows(rows), nil
 		}},
+		{"search", func() (string, error) {
+			rows, res, err := experiments.SearchExperiment(64, seed, *searchLog)
+			if err != nil {
+				return "", err
+			}
+			searchRows = rows
+			return experiments.RenderSearchRows(rows, res), nil
+		}},
 	}
 	ran := false
 	for _, r := range runners {
@@ -76,7 +86,7 @@ func main() {
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.id, out)
 		if *jsonOut {
-			if err := writeJSON(r.id, out, engineRows); err != nil {
+			if err := writeJSON(r.id, out, engineRows, searchRows); err != nil {
 				log.Fatalf("%s: write json: %v", r.id, err)
 			}
 		}
@@ -97,14 +107,16 @@ type engineJSONRow struct {
 	ExactMatch bool    `json:"exact_match"`
 }
 
-// writeJSON writes BENCH_<id>.json. The engine experiment serializes the
-// same measured rows the text table rendered; text-only experiments get
-// the rendered report wrapped so every experiment is still diffable by
-// machine.
-func writeJSON(id, report string, rows []experiments.EngineRow) error {
+// writeJSON writes BENCH_<id>.json. The engine and search experiments
+// serialize the same measured rows their text tables rendered; text-only
+// experiments get the rendered report wrapped so every experiment is
+// still diffable by machine.
+func writeJSON(id, report string, rows []experiments.EngineRow, searchRows []experiments.SearchRow) error {
 	path := fmt.Sprintf("BENCH_%s.json", id)
 	var payload any
-	if id == "engine" && rows != nil {
+	if id == "search" && searchRows != nil {
+		payload = map[string]any{"experiment": id, "frontier": searchRows}
+	} else if id == "engine" && rows != nil {
 		flat := make([]engineJSONRow, 0, 2*len(rows))
 		for _, r := range rows {
 			flat = append(flat,

@@ -1,23 +1,32 @@
-// Command search runs differentiable NAS (§5) for a task under MCU
-// constraints, on the synthetic datasets, and prints the discovered
-// architecture with its resource usage.
+// Command search runs the parallel hardware-in-the-loop NAS harness
+// (internal/search): candidate architectures — random samples,
+// evolutionary mutations of the live Pareto frontier, and an optional
+// DNAS-warm-started seed (§5) — are lowered through the real deployment
+// path (graph → tflm memory planner → mcu latency/energy models) and
+// competed on (accuracy-proxy, latency, SRAM, flash). Every trial is
+// checkpointed to a JSONL log for resume; frontier winners are exported
+// as a spec file cmd/serve can load with -specs.
 //
 // Usage:
 //
-//	search -task kws -device S [-steps 150] [-maxc 64] [-blocks 5]
+//	search -task kws -device S -trials 64
+//	search -task ad -device L -trials 256 -log trials.jsonl -export frontier.json
+//	search -task kws -device S -trials 64 -log trials.jsonl   # re-run resumes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"micronets/internal/core"
-	"micronets/internal/datasets"
+	"micronets/internal/experiments"
 	"micronets/internal/mcu"
-	"micronets/internal/nn"
-	"micronets/internal/tflm"
+	"micronets/internal/search"
 )
 
 func main() {
@@ -25,81 +34,105 @@ func main() {
 	log.SetPrefix("search: ")
 	task := flag.String("task", "kws", "task: kws or ad")
 	device := flag.String("device", "S", "target MCU class: S, M or L")
-	steps := flag.Int("steps", 150, "search steps")
-	maxC := flag.Int("maxc", 64, "maximum block width (paper uses 276)")
-	blocks := flag.Int("blocks", 5, "number of searchable DS blocks (paper uses 9)")
-	perClass := flag.Int("per-class", 10, "synthetic clips per class")
-	seed := flag.Int64("seed", 1, "random seed")
+	trials := flag.Int("trials", 64, "total candidate evaluations (including resumed)")
+	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = min(NumCPU, 8))")
+	seed := flag.Int64("seed", 42, "search seed (per-trial candidate generation is derived from it)")
+	sramKB := flag.Int("sram-kb", 0, "SRAM budget in KB (0 = device SRAM)")
+	flashKB := flag.Int("flash-kb", 0, "flash budget in KB (0 = device flash)")
+	maxLatMS := flag.Float64("max-latency-ms", 0, "latency budget in ms (0 = unconstrained)")
+	dnasSteps := flag.Int("dnas-steps", 40, "DNAS warm-start steps for trial 0 (0 disables)")
+	logPath := flag.String("log", "search_trials.jsonl", "JSONL trial log (checkpoint/resume); empty disables")
+	exportPath := flag.String("export", "search_frontier.json", "spec file for the exported frontier; empty disables")
+	exportTop := flag.Int("export-top", 0, "export at most N frontier models, spread across the latency range (0 = all)")
+	mutateFrac := flag.Float64("mutate-frac", 0.5, "fraction of trials mutating a frontier member (0 disables mutation)")
 	flag.Parse()
 
 	dev, err := mcu.ByClass(*device)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var cfg core.SupernetConfig
-	var ds *datasets.Dataset
-	switch *task {
-	case "kws":
-		cfg = core.KWSSupernetConfig(49, 10, 12, *maxC, *blocks)
-		ds = datasets.SynthKWS(datasets.KWSOptions{PerClass: *perClass, Seed: *seed})
-	case "ad":
-		cfg = core.ADSupernetConfig(*maxC, *blocks)
-		ad := datasets.SynthAD(datasets.ADOptions{ClipsPerMachine: *perClass, Seed: *seed})
-		ds = ad.ClassifierDataset()
-	default:
-		log.Fatalf("unknown task %q", *task)
+	budgets := search.DeviceBudgets(dev)
+	if *sramKB > 0 {
+		budgets.SRAMBytes = *sramKB * 1024
 	}
-	rng := rand.New(rand.NewSource(*seed))
-	trainDS, valDS := ds.Split(rng, 0.3)
-
-	// Budgets from the device, minus the TFLM overheads the paper
-	// subtracts ("available SRAM minus the expected TFLM overhead").
-	sramBudget := float64(dev.SRAMBytes() - tflm.InterpreterSRAMBytes - tflm.OtherSRAMBytes)
-	flashBudget := float64(dev.FlashBytes()-tflm.RuntimeCodeFlashBytes-tflm.OtherFlashBytes) * 0.8
-	cons := core.Constraints{
-		MaxParams:       flashBudget,
-		MaxWorkMemElems: sramBudget * 0.8, // leave room for persistent buffers
-		MaxOps:          40e6,             // latency target via the ops proxy (§5.1.2)
+	if *flashKB > 0 {
+		budgets.FlashBytes = *flashKB * 1024
+	}
+	if *maxLatMS > 0 {
+		budgets.MaxLatencyS = *maxLatMS / 1e3
 	}
 
-	sn, err := core.NewSupernet(rng, cfg)
-	if err != nil {
+	// The harness treats MutateFrac 0 as "use the default"; the flag's 0
+	// means "no mutation", which the harness spells as negative.
+	if *mutateFrac == 0 {
+		*mutateFrac = -1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("searching %s architectures for %s (budgets: %d KB SRAM, %d KB flash)\n",
+		*task, dev, budgets.SRAMBytes/1024, budgets.FlashBytes/1024)
+	res, err := search.Run(ctx, search.Config{
+		Task:           *task,
+		Device:         dev,
+		Budgets:        budgets,
+		Trials:         *trials,
+		Workers:        *workers,
+		Seed:           *seed,
+		MutateFrac:     *mutateFrac,
+		DNASSteps:      *dnasSteps,
+		CheckpointPath: *logPath,
+		Log:            func(s string) { fmt.Println("  " + s) },
+	})
+	if res == nil && err != nil {
 		log.Fatal(err)
 	}
-	trainRng := rand.New(rand.NewSource(*seed + 1))
-	valRng := rand.New(rand.NewSource(*seed + 2))
-	res, err := core.RunSearch(sn,
-		func(step int) core.Batch {
-			x, labels := trainDS.RandomBatch(trainRng, 16)
-			return core.Batch{X: x, Labels: labels}
-		},
-		func(step int) core.Batch {
-			x, labels := valDS.RandomBatch(valRng, 16)
-			return core.Batch{X: x, Labels: labels}
-		},
-		cons,
-		core.SearchConfig{
-			Steps: *steps, ArchStartStep: *steps / 5,
-			WeightLR: nn.CosineSchedule{Start: 0.05, End: 0.002, Steps: *steps},
-			Seed:     *seed,
-			Log:      func(s string) { fmt.Println("  " + s) },
-		})
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("interrupted (%v); reporting the partial frontier", err)
 	}
 
-	fmt.Printf("\ndiscovered architecture:\n  %s\n\n", res.Spec)
-	a, err := res.Spec.Analyze()
-	if err != nil {
-		log.Fatal(err)
+	pts := res.Frontier.Points()
+	feasible := 0
+	for _, r := range res.Trials {
+		if r.Feasible {
+			feasible++
+		}
 	}
-	fmt.Printf("params %.1f KB (budget %.1f KB)\n", float64(a.TotalParams)/1024, cons.MaxParams/1024)
-	fmt.Printf("working memory %.1f KB (budget %.1f KB)\n", float64(a.PeakWorkingSetBytes)/1024, cons.MaxWorkMemElems/1024)
-	fmt.Printf("ops %.1f Mops (budget %.1f Mops)\n", float64(a.TotalOps())/1e6, cons.MaxOps/1e6)
-	if len(res.Violations) > 0 {
-		fmt.Printf("relaxed-model violations at end of search: %v\n", res.Violations)
-	} else {
-		fmt.Println("all constraints satisfied")
+	fmt.Printf("\n%d trials (%d resumed), %d feasible, Pareto frontier %d:\n\n",
+		len(res.Trials), res.Resumed, feasible, len(pts))
+	fmt.Print(experiments.RenderSearchTable(experiments.FrontierRows(res)))
+	if len(pts) == 0 {
+		if err != nil {
+			log.Fatal("interrupted before any feasible candidate was found; re-run with the same -log to continue")
+		}
+		log.Fatal("no feasible candidates; loosen the budgets or raise -trials")
+	}
+
+	if *exportPath != "" {
+		exported := pts
+		if *exportTop > 0 && len(exported) > *exportTop {
+			// Points are latency-sorted; take an even spread so the export
+			// covers the whole frontier, not just its fast end.
+			picked := make([]search.Point, 0, *exportTop)
+			if *exportTop == 1 {
+				picked = append(picked, exported[0])
+			} else {
+				for i := 0; i < *exportTop; i++ {
+					picked = append(picked, exported[i*(len(exported)-1)/(*exportTop-1)])
+				}
+			}
+			exported = picked
+		}
+		prefix := fmt.Sprintf("NAS-%s-%s", *task, dev.Class)
+		file, names, err := search.ExportFrontier(exported, prefix, strings.Join(os.Args, " "))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := search.WriteSpecFile(*exportPath, file); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nexported %d frontier models to %s (serve with: serve -specs %s -models %s)\n",
+			len(names), *exportPath, *exportPath, strings.Join(names, ","))
 	}
 }

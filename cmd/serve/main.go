@@ -38,6 +38,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8151", "listen address")
 	models := flag.String("models", "all", "comma-separated zoo models to preload, or 'all' for every servable model")
+	specs := flag.String("specs", "", "comma-separated spec files (cmd/search -export output) to register into the zoo before preloading")
 	pool := flag.Int("pool", 2, "pre-warmed interpreters per model")
 	maxBatch := flag.Int("max-batch", 8, "max requests coalesced into one InvokeBatch call")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait for the micro-batch window to fill")
@@ -53,6 +54,20 @@ func main() {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	// Register searched architectures first so "all" (and explicit -models
+	// lists) can include freshly exported frontier winners.
+	for _, path := range strings.Split(*specs, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		loaded, err := zoo.RegisterSpecFile(path)
+		if err != nil {
+			logger.Error("loading spec file failed", "path", path, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("registered searched models", "path", path, "models", len(loaded))
+	}
 
 	var names []string
 	if *models == "all" {

@@ -42,32 +42,53 @@ const (
 	TransposedConv
 )
 
+// blockKindNames maps each kind to its canonical name (the String form).
+// Keep in sync with the BlockKind constants; ParseBlockKind and the JSON
+// round-trip tests walk it.
+var blockKindNames = map[BlockKind]string{
+	Conv: "Conv2D", DSBlock: "DSBlock", IBN: "IBN",
+	AvgPool: "AvgPool", MaxPool: "MaxPool", GlobalPool: "GlobalPool",
+	Dense: "Dense", DenseReLU: "DenseReLU", Dropout: "Dropout",
+	TransposedConv: "TransposedConv",
+}
+
+// ParseBlockKind is the inverse of BlockKind.String, used when loading
+// exported spec files.
+func ParseBlockKind(s string) (BlockKind, error) {
+	for k, name := range blockKindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("arch: unknown block kind %q", s)
+}
+
+// MarshalText renders the kind by name so exported spec files (the NAS
+// frontier export format) stay human-readable and stable across constant
+// reordering.
+func (k BlockKind) MarshalText() ([]byte, error) {
+	if name, ok := blockKindNames[k]; ok {
+		return []byte(name), nil
+	}
+	return nil, fmt.Errorf("arch: cannot marshal BlockKind(%d)", int(k))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *BlockKind) UnmarshalText(b []byte) error {
+	v, err := ParseBlockKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // String implements fmt.Stringer.
 func (k BlockKind) String() string {
-	switch k {
-	case Conv:
-		return "Conv2D"
-	case DSBlock:
-		return "DSBlock"
-	case IBN:
-		return "IBN"
-	case AvgPool:
-		return "AvgPool"
-	case MaxPool:
-		return "MaxPool"
-	case GlobalPool:
-		return "GlobalPool"
-	case Dense:
-		return "Dense"
-	case DenseReLU:
-		return "DenseReLU"
-	case Dropout:
-		return "Dropout"
-	case TransposedConv:
-		return "TransposedConv"
-	default:
-		return fmt.Sprintf("BlockKind(%d)", int(k))
+	if name, ok := blockKindNames[k]; ok {
+		return name
 	}
+	return fmt.Sprintf("BlockKind(%d)", int(k))
 }
 
 // Block is one macro block of a network.

@@ -159,7 +159,7 @@ func TestPenaltyZeroWhenUnderBudget(t *testing.T) {
 	s, _ := NewSupernet(rng, tinyConfig())
 	x := ag.Constant(tensor.Randn(rng, 1, 1, 8, 8, 1))
 	_, res := s.Forward(x, false, nil, 1)
-	cons := Constraints{MaxParams: 1e9, MaxWorkMemElems: 1e9, MaxOps: 1e9}
+	cons := Constraints{MaxWeightBytes: 1e9, MaxArenaBytes: 1e9, MaxOps: 1e9}
 	if p := cons.Penalty(res).Scalar(); p != 0 {
 		t.Fatalf("penalty %v under budget, want 0", p)
 	}
@@ -248,7 +248,7 @@ func TestSearchEndToEnd(t *testing.T) {
 	}
 	trainRng := rand.New(rand.NewSource(8))
 	valRng := rand.New(rand.NewSource(9))
-	cons := Constraints{MaxParams: 400, MaxOps: 40000, MaxWorkMemElems: 2000, LambdaOps: 5, LambdaParams: 5, LambdaMem: 5}
+	cons := Constraints{MaxWeightBytes: 400, MaxOps: 40000, MaxArenaBytes: 2000, LambdaOps: 5, LambdaParams: 5, LambdaMem: 5}
 	res, err := RunSearch(s,
 		func(step int) Batch { return mkBatch(trainRng, 16) },
 		func(step int) Batch { return mkBatch(valRng, 16) },
@@ -268,8 +268,8 @@ func TestSearchEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if float64(a.TotalParams) > cons.MaxParams {
-		t.Errorf("discovered spec params %d exceed budget %.0f", a.TotalParams, cons.MaxParams)
+	if float64(a.TotalParams) > cons.MaxWeightBytes {
+		t.Errorf("discovered spec params %d exceed budget %.0f", a.TotalParams, cons.MaxWeightBytes)
 	}
 	if float64(a.TotalOps()) > cons.MaxOps {
 		t.Errorf("discovered spec ops %d exceed budget %.0f", a.TotalOps(), cons.MaxOps)

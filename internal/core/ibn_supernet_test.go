@@ -72,7 +72,7 @@ func TestIBNPenaltyShrinksWidths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cons := Constraints{MaxParams: 10, LambdaParams: 10}
+	cons := Constraints{MaxWeightBytes: 10, LambdaParams: 10}
 	x := ag.Constant(tensor.Randn(rng, 1, 2, 16, 16, 1))
 	before := s.headNode.Probabilities()[0]
 	opt := nn.NewSGD(0, 0)

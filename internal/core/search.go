@@ -13,12 +13,22 @@ import (
 // Constraints are the MCU budgets the search must satisfy (§5.1): model
 // size against eFlash, working memory against SRAM (minus the expected
 // TFLM overhead), and op count as the latency/energy proxy justified by
-// the hardware characterization (§3).
+// the hardware characterization (§3). All memory budgets are denominated
+// in BYTES so they compose directly with the tflm planner's byte
+// accounting (device SRAM/flash budgets, tflm.MemoryReport, the search
+// harness). During the differentiable search the relaxed resource model
+// counts int8 weights and activations, where one element is one byte, so
+// the same budgets bound both the relaxed and the planner-measured model.
 type Constraints struct {
-	// MaxParams bounds the weight count (bytes at int8).
-	MaxParams float64
-	// MaxWorkMemElems bounds max-over-nodes (inputs+outputs) elements.
-	MaxWorkMemElems float64
+	// MaxWeightBytes bounds the int8 weight bytes (the eFlash budget;
+	// one weight is one byte).
+	MaxWeightBytes float64
+	// MaxArenaBytes bounds the activation working memory in bytes. The
+	// differentiable proxy is max-over-nodes (inputs+outputs) int8 bytes;
+	// the tflm arena planner refines it downward with buffer reuse, so a
+	// relaxed model under this budget stays under it after planning (the
+	// tflm property tests pin this).
+	MaxArenaBytes float64
 	// MaxOps bounds the op count (2*MACs).
 	MaxOps float64
 
@@ -52,8 +62,8 @@ func (c Constraints) Penalty(res *Resources) *ag.Var {
 		norm := ag.AddScalar(ag.Scale(usage, float32(1/budget)), -1)
 		total = ag.Add(total, ag.Scale(ag.ReLU(norm), lambda))
 	}
-	add(res.ParamCount, c.MaxParams, cc.LambdaParams)
-	add(res.WorkingMemory(), c.MaxWorkMemElems, cc.LambdaMem)
+	add(res.ParamCount, c.MaxWeightBytes, cc.LambdaParams)
+	add(res.WorkingMemory(), c.MaxArenaBytes, cc.LambdaMem)
 	add(res.OpCount, c.MaxOps, cc.LambdaOps)
 	return total
 }
@@ -62,14 +72,35 @@ func (c Constraints) Penalty(res *Resources) *ag.Var {
 // exceed; used for logging and tests.
 func (c Constraints) Violations(res *Resources) []string {
 	var v []string
-	if c.MaxParams > 0 && float64(res.ParamCount.Scalar()) > c.MaxParams {
-		v = append(v, fmt.Sprintf("params %.0f > %.0f", res.ParamCount.Scalar(), c.MaxParams))
+	if c.MaxWeightBytes > 0 && float64(res.ParamCount.Scalar()) > c.MaxWeightBytes {
+		v = append(v, fmt.Sprintf("weight bytes %.0f > %.0f", res.ParamCount.Scalar(), c.MaxWeightBytes))
 	}
-	if c.MaxWorkMemElems > 0 && float64(res.WorkingMemory().Scalar()) > c.MaxWorkMemElems {
-		v = append(v, fmt.Sprintf("workmem %.0f > %.0f", res.WorkingMemory().Scalar(), c.MaxWorkMemElems))
+	if c.MaxArenaBytes > 0 && float64(res.WorkingMemory().Scalar()) > c.MaxArenaBytes {
+		v = append(v, fmt.Sprintf("arena bytes %.0f > %.0f", res.WorkingMemory().Scalar(), c.MaxArenaBytes))
 	}
 	if c.MaxOps > 0 && float64(res.OpCount.Scalar()) > c.MaxOps {
 		v = append(v, fmt.Sprintf("ops %.0f > %.0f", res.OpCount.Scalar(), c.MaxOps))
+	}
+	return v
+}
+
+// CheckBytes reports which budgets a concrete (already lowered or
+// analyzed) model exceeds, given its byte-denominated usage: weightBytes
+// from graph.Model.WeightBytes or arch.Analysis.TotalParams, arenaBytes
+// from the tflm planner (or the analytic peak-working-set proxy), and ops
+// as 2*MACs. It is the non-differentiable twin of Violations used by the
+// hardware-in-the-loop search harness, where the planner's byte
+// accounting replaces the relaxed element counts.
+func (c Constraints) CheckBytes(weightBytes, arenaBytes, ops float64) []string {
+	var v []string
+	if c.MaxWeightBytes > 0 && weightBytes > c.MaxWeightBytes {
+		v = append(v, fmt.Sprintf("weight bytes %.0f > %.0f", weightBytes, c.MaxWeightBytes))
+	}
+	if c.MaxArenaBytes > 0 && arenaBytes > c.MaxArenaBytes {
+		v = append(v, fmt.Sprintf("arena bytes %.0f > %.0f", arenaBytes, c.MaxArenaBytes))
+	}
+	if c.MaxOps > 0 && ops > c.MaxOps {
+		v = append(v, fmt.Sprintf("ops %.0f > %.0f", ops, c.MaxOps))
 	}
 	return v
 }

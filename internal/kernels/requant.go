@@ -40,13 +40,15 @@ func (q QuantizedMultiplier) Apply(x int32) int32 {
 		rightShift = -q.Shift
 	}
 	v := int64(x) << uint(leftShift)
-	// SaturatingRoundingDoublingHighMul.
+	// SaturatingRoundingDoublingHighMul. The division must truncate toward
+	// zero (as C++ '/' does in gemmlowp) — an arithmetic right shift floors
+	// instead, which under-rounds negative products by one.
 	prod := v * int64(q.M0)
 	nudge := int64(1) << 30
 	if prod < 0 {
 		nudge = 1 - nudge
 	}
-	high := int64((prod + nudge) >> 31)
+	high := (prod + nudge) / (int64(1) << 31)
 	if rightShift == 0 {
 		return int32(high)
 	}

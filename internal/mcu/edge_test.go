@@ -1,0 +1,140 @@
+package mcu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"micronets/internal/graph"
+)
+
+// emptyModel is a structurally valid tensor set with no ops — the shape a
+// caller gets from a malformed or still-being-built graph. graph.Validate
+// rejects it, but the cost model must stay total (no NaNs) regardless.
+func emptyModel() *graph.Model {
+	return &graph.Model{
+		Name: "empty",
+		Tensors: []*graph.Tensor{
+			{ID: 0, Name: "in", H: 4, W: 4, C: 1, Scale: 0.05, ZeroPoint: -128, Bits: 8},
+		},
+		Input: 0, Output: 0,
+	}
+}
+
+// oneOpModel is the smallest invokable model: a single 1x1 conv.
+func oneOpModel() *graph.Model {
+	m := &graph.Model{
+		Name: "one-op",
+		Tensors: []*graph.Tensor{
+			{ID: 0, Name: "in", H: 4, W: 4, C: 4, Scale: 0.05, ZeroPoint: -128, Bits: 8},
+			{ID: 1, Name: "out", H: 4, W: 4, C: 4, Scale: 0.1, ZeroPoint: -128, Bits: 8},
+		},
+		Input: 0, Output: 1,
+	}
+	m.Ops = []*graph.Op{{
+		Kind: graph.OpConv2D, Name: "pw", Inputs: []int{0}, Output: 1,
+		KH: 1, KW: 1, SH: 1, SW: 1,
+		Weights: make([]int8, 16), WeightBits: 8,
+		WeightScales: make([]float32, 4), Bias: make([]int32, 4),
+		ClampMin: -128, ClampMax: 127,
+	}}
+	for i := range m.Ops[0].WeightScales {
+		m.Ops[0].WeightScales[i] = 0.02
+	}
+	return m
+}
+
+// TestZeroAndOneOpModels pins the degenerate-model contract across the
+// whole cost model: a zero-op model costs nothing and traces nothing, a
+// one-op model costs a positive finite amount, and nothing NaN-propagates.
+func TestZeroAndOneOpModels(t *testing.T) {
+	cases := []struct {
+		name        string
+		model       *graph.Model
+		wantLatZero bool
+		wantLayers  int
+	}{
+		{name: "zero-op", model: emptyModel(), wantLatZero: true, wantLayers: 0},
+		{name: "one-op", model: oneOpModel(), wantLatZero: false, wantLayers: 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, dev := range Devices() {
+				lat, layers := ModelLatency(c.model, dev)
+				if math.IsNaN(lat) || math.IsInf(lat, 0) {
+					t.Fatalf("%s: latency %v not finite", dev.Name, lat)
+				}
+				if c.wantLatZero && lat != 0 {
+					t.Fatalf("%s: zero-op latency %v, want 0", dev.Name, lat)
+				}
+				if !c.wantLatZero && lat <= 0 {
+					t.Fatalf("%s: latency %v, want > 0", dev.Name, lat)
+				}
+				if len(layers) != c.wantLayers {
+					t.Fatalf("%s: %d layers, want %d", dev.Name, len(layers), c.wantLayers)
+				}
+
+				rng := rand.New(rand.NewSource(1))
+				meas := MeasureLatency(c.model, dev, rng)
+				if math.IsNaN(meas) {
+					t.Fatalf("%s: measured latency is NaN", dev.Name)
+				}
+				if c.wantLatZero && meas != 0 {
+					t.Fatalf("%s: zero-op measured latency %v, want 0", dev.Name, meas)
+				}
+
+				e := EnergyPerInferenceMJ(c.model, dev)
+				if math.IsNaN(e) || (c.wantLatZero && e != 0) || (!c.wantLatZero && e <= 0) {
+					t.Fatalf("%s: energy %v inconsistent with latency", dev.Name, e)
+				}
+
+				trace := CurrentTrace(c.model, dev, 1.0, 0.001, 0.5, rng)
+				if c.wantLatZero {
+					if len(trace) != 0 {
+						t.Fatalf("%s: zero-op trace has %d samples, want empty", dev.Name, len(trace))
+					}
+				} else {
+					if len(trace) != 500 {
+						t.Fatalf("%s: trace has %d samples, want 500", dev.Name, len(trace))
+					}
+					for _, p := range trace {
+						if math.IsNaN(p.CurrentMA) {
+							t.Fatalf("%s: NaN sample at t=%v", dev.Name, p.TimeS)
+						}
+					}
+				}
+
+				avg := DutyCycleAveragePowerMW(c.model, dev, 1.0)
+				if math.IsNaN(avg) {
+					t.Fatalf("%s: duty-cycle average is NaN", dev.Name)
+				}
+				if c.wantLatZero && avg != dev.SleepMW {
+					t.Fatalf("%s: zero-op duty-cycle average %v, want sleep floor %v", dev.Name, avg, dev.SleepMW)
+				}
+			}
+		})
+	}
+}
+
+// TestDegenerateTraceParams pins the guard rails on the trace sampler
+// itself: a zero or negative sample interval (or period) must yield an
+// empty trace, never a NaN division or an infinite loop.
+func TestDegenerateTraceParams(t *testing.T) {
+	m := oneOpModel()
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct {
+		name                 string
+		period, dt, duration float64
+	}{
+		{name: "zero-dt", period: 1, dt: 0, duration: 1},
+		{name: "negative-dt", period: 1, dt: -0.01, duration: 1},
+		{name: "zero-period", period: 0, dt: 0.001, duration: 1},
+		{name: "zero-duration", period: 1, dt: 0.001, duration: 0},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			if got := CurrentTrace(m, F446RE, c.period, c.dt, c.duration, rng); len(got) != 0 {
+				t.Fatalf("trace has %d samples, want empty", len(got))
+			}
+		})
+	}
+}

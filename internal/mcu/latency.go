@@ -129,8 +129,14 @@ type LayerLatency struct {
 }
 
 // ModelLatency returns the end-to-end inference latency in seconds for the
-// model on the device, plus the per-layer breakdown.
+// model on the device, plus the per-layer breakdown. A model with no ops
+// has nothing to invoke: latency is 0 and the breakdown is empty (rather
+// than charging the interpreter dispatch overhead for a dispatch that
+// never happens).
 func ModelLatency(m *graph.Model, dev *Device) (float64, []LayerLatency) {
+	if len(m.Ops) == 0 {
+		return 0, nil
+	}
 	clock := dev.ClockMHz * 1e6
 	total := invokeOverhead / clock * dev.CycleFactor
 	layers := make([]LayerLatency, 0, len(m.Ops))
@@ -152,7 +158,13 @@ func Latency(m *graph.Model, dev *Device) float64 {
 
 // MeasureLatency simulates a timed measurement (the paper uses the Mbed
 // Timer API): the modeled latency plus small run-to-run jitter from rng.
+// A zero-op model measures exactly 0 — multiplicative jitter on a zero
+// baseline would be meaningless (and historically let NaNs from malformed
+// models propagate into traces).
 func MeasureLatency(m *graph.Model, dev *Device, rng *rand.Rand) float64 {
 	t := Latency(m, dev)
+	if t == 0 {
+		return 0
+	}
 	return t * math.Exp(rng.NormFloat64()*0.003)
 }

@@ -43,6 +43,11 @@ func EnergyPerInferenceMJ(m *graph.Model, dev *Device) float64 {
 // frame per second").
 func DutyCycleAveragePowerMW(m *graph.Model, dev *Device, periodS float64) float64 {
 	lat := Latency(m, dev)
+	if lat == 0 {
+		// Zero-op model: the application never wakes, so the average is the
+		// sleep floor (and never 0/0 for a zero period).
+		return dev.SleepMW
+	}
 	if lat >= periodS {
 		return ActivePowerMW(m, dev)
 	}
@@ -60,9 +65,15 @@ type TracePoint struct {
 // CurrentTrace synthesizes an Otii Arc-style current-vs-time trace for an
 // application invoking the model once per periodS, sampled every dtS, for
 // the given duration. Active phases carry measurement noise; sleep phases
-// drop to the deep-sleep floor (Figure 9).
+// drop to the deep-sleep floor (Figure 9). A zero-op model (nothing to
+// invoke) or a non-positive sample interval yields an empty trace — the
+// old behaviour divided by dtS and took math.Mod against periodS, which
+// NaN-propagated into every sample.
 func CurrentTrace(m *graph.Model, dev *Device, periodS, dtS, durationS float64, rng *rand.Rand) []TracePoint {
 	lat := Latency(m, dev)
+	if lat == 0 || dtS <= 0 || periodS <= 0 {
+		return nil
+	}
 	activeMA := ActivePowerMW(m, dev) / dev.SupplyVoltage
 	sleepMA := dev.SleepMW / dev.SupplyVoltage
 	n := int(durationS / dtS)

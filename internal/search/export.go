@@ -1,0 +1,59 @@
+package search
+
+import (
+	"fmt"
+	"os"
+
+	"micronets/internal/arch"
+	"micronets/internal/zoo"
+)
+
+// ExportName is the zoo name a frontier point exports under: the prefix
+// (typically "NAS-<task>-<deviceclass>") plus the trial index.
+func ExportName(prefix string, p Point) string {
+	return fmt.Sprintf("%s-%03d", prefix, p.Trial)
+}
+
+// ExportFrontier publishes every frontier point into the zoo under
+// ExportName and returns the spec file that makes the export durable.
+// Each exported spec is a copy — the trial log keeps the original names —
+// and carries a note summarizing the metrics it was selected on, so
+// `cmd/serve -specs` and a human reading the file see the same story.
+func ExportFrontier(points []Point, prefix, generatedBy string) (*zoo.SpecFile, []string, error) {
+	file := &zoo.SpecFile{GeneratedBy: generatedBy, Notes: map[string]string{}}
+	var names []string
+	for _, p := range points {
+		if p.Record == nil || p.Record.Spec == nil {
+			return nil, nil, fmt.Errorf("search: frontier point (trial %d) has no spec", p.Trial)
+		}
+		spec := *p.Record.Spec
+		spec.Blocks = append([]arch.Block(nil), p.Record.Spec.Blocks...)
+		spec.Name = ExportName(prefix, p)
+		spec.Source = "search"
+		note := fmt.Sprintf(
+			"Pareto frontier point (source %s): acc-proxy %.2f%%, latency %.1f ms, SRAM %.1f KB, flash %.1f KB, %.1f MOps",
+			p.Source, p.Metrics.AccuracyProxy, p.Metrics.LatencyS*1e3,
+			float64(p.Metrics.TotalSRAMBytes)/1024, float64(p.Metrics.TotalFlashBytes)/1024,
+			float64(p.Metrics.Ops)/1e6)
+		if err := zoo.Register(&zoo.Entry{Name: spec.Name, Task: spec.Task, Spec: &spec, Notes: note}); err != nil {
+			return nil, nil, err
+		}
+		file.Specs = append(file.Specs, &spec)
+		file.Notes[spec.Name] = note
+		names = append(names, spec.Name)
+	}
+	return file, names, nil
+}
+
+// WriteSpecFile saves an exported frontier to disk.
+func WriteSpecFile(path string, file *zoo.SpecFile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := zoo.WriteSpecFile(f, file); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,353 @@
+// Package search is the hardware-in-the-loop NAS harness: it fans
+// candidate architectures across a worker pool, evaluates each one by
+// actually lowering it through graph → tflm (real greedy-planner arena
+// bytes, not the element-count proxy) and costing it with the mcu
+// latency/energy models, and maintains a live Pareto frontier over
+// (accuracy-proxy, latency, SRAM, flash). Candidates come from three
+// generators — uniform random sampling of the task's search space,
+// evolutionary mutation of current frontier members, and a
+// DNAS-warm-started seed from the differentiable search in internal/core.
+// Every evaluated trial is checkpointed as one JSONL line, so a killed
+// run resumes where it stopped, and frontier winners export as named zoo
+// specs that cmd/serve can serve immediately. This closes the paper's
+// loop (§5): search under deployment constraints, measured on the target,
+// feeding the model zoo.
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"micronets/internal/arch"
+	"micronets/internal/core"
+	"micronets/internal/datasets"
+	"micronets/internal/mcu"
+	"micronets/internal/nn"
+	"micronets/internal/tflm"
+)
+
+// Config drives Run.
+type Config struct {
+	// Task selects the search space: "kws" or "ad".
+	Task string
+	// Device is the deployment target whose latency/energy models score
+	// every trial.
+	Device *mcu.Device
+	// Budgets gate frontier membership; zero-valued budgets default to
+	// DeviceBudgets(Device).
+	Budgets Budgets
+	// Trials is the total number of candidate evaluations (including any
+	// resumed from the checkpoint).
+	Trials int
+	// Workers bounds the evaluation pool (default min(NumCPU, 8)).
+	Workers int
+	// Seed makes candidate generation deterministic per trial index.
+	Seed int64
+	// MutateFrac is the fraction of trials drawn by mutating a frontier
+	// member once one exists. Zero means the default (0.5); pass a
+	// negative value to disable mutation entirely.
+	MutateFrac float64
+	// DNASSteps > 0 runs the differentiable search for that many steps to
+	// warm-start trial 0 (instead of a random sample).
+	DNASSteps int
+	// CheckpointPath is the JSONL trial log; if it exists, recorded
+	// trials are resumed instead of re-evaluated. Empty disables
+	// checkpointing (and resume).
+	CheckpointPath string
+	// Log receives progress lines (optional).
+	Log func(string)
+}
+
+// Result is a finished (or budget-exhausted) search run.
+type Result struct {
+	Frontier *Frontier
+	// Task and Device echo what the run searched for, so renderers don't
+	// have to re-guess them.
+	Task   string
+	Device *mcu.Device
+	// Trials holds every evaluated record, resumed and new, by trial.
+	Trials []TrialRecord
+	// Evaluated counts trials newly evaluated by this run; Resumed counts
+	// records replayed from the checkpoint.
+	Evaluated, Resumed int
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes the search. It is safe to cancel via ctx: completed trials
+// are already checkpointed and the partial frontier is returned.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("search: Trials must be > 0")
+	}
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("search: Device is required")
+	}
+	space, err := SpaceForTask(cfg.Task)
+	if err != nil {
+		return nil, err
+	}
+	// Default unset memory budgets per field (a caller may set only a
+	// latency budget and still expect the device's physical memory to
+	// bound the rest); MaxLatencyS zero legitimately means unconstrained.
+	devBudgets := DeviceBudgets(cfg.Device)
+	if cfg.Budgets.SRAMBytes == 0 {
+		cfg.Budgets.SRAMBytes = devBudgets.SRAMBytes
+	}
+	if cfg.Budgets.FlashBytes == 0 {
+		cfg.Budgets.FlashBytes = devBudgets.FlashBytes
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.MutateFrac == 0 {
+		cfg.MutateFrac = 0.5
+	}
+
+	frontier := &Frontier{}
+	done := make(map[int]bool)
+	var resumed []TrialRecord
+	if cfg.CheckpointPath != "" {
+		recs, err := LoadTrialLog(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recs {
+			rec := recs[i]
+			if rec.Trial < 0 || rec.Trial >= cfg.Trials || done[rec.Trial] {
+				continue // stale log from a different -trials run; re-evaluate
+			}
+			if rec.Task != cfg.Task || rec.Device != cfg.Device.Name || rec.Seed != cfg.Seed {
+				// Logged for another task/device (metrics don't transfer) or
+				// another seed (a different -seed asks for a fresh search,
+				// not a replay of the old one).
+				continue
+			}
+			// Budgets may be tighter (or looser) than the run that wrote
+			// the log: feasibility is re-derived from the logged metrics,
+			// never trusted, so a resumed frontier still honours THIS
+			// run's command-line budgets.
+			if rec.Err == "" {
+				rec.Violations = cfg.Budgets.Check(rec.Metrics)
+				rec.Feasible = len(rec.Violations) == 0
+			}
+			done[rec.Trial] = true
+			resumed = append(resumed, rec)
+			if rec.Feasible && rec.Spec != nil {
+				frontier.Add(Point{Trial: rec.Trial, Source: rec.Source, Metrics: rec.Metrics, Record: &resumed[len(resumed)-1]})
+			}
+		}
+		if len(resumed) > 0 {
+			cfg.logf("resumed %d/%d trials from %s (frontier %d)",
+				len(resumed), cfg.Trials, cfg.CheckpointPath, frontier.Size())
+		}
+	}
+
+	var log *trialLog
+	if cfg.CheckpointPath != "" {
+		if log, err = openTrialLog(cfg.CheckpointPath); err != nil {
+			return nil, err
+		}
+		defer log.close()
+	}
+
+	// DNAS warm start for trial 0: run the differentiable search briefly
+	// and let its discretized architecture seed the frontier (and, via
+	// mutation, the evolutionary stream).
+	warmSpec := map[int]*arch.Spec{}
+	if cfg.DNASSteps > 0 && !done[0] {
+		if spec, err := dnasWarmStart(cfg, space); err != nil {
+			cfg.logf("dnas warm start failed (%v); trial 0 falls back to random", err)
+		} else {
+			warmSpec[0] = spec
+			cfg.logf("dnas warm start: %s", spec)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		newRecs   []TrialRecord
+		logErr    error
+		wg        sync.WaitGroup
+		trialCh   = make(chan int)
+		evaluated int
+	)
+	worker := func() {
+		defer wg.Done()
+		for trial := range trialCh {
+			rec := cfg.runTrial(trial, space, frontier, warmSpec[trial])
+			if log != nil {
+				if err := log.append(&rec); err != nil {
+					mu.Lock()
+					if logErr == nil {
+						logErr = err
+					}
+					mu.Unlock()
+				}
+			}
+			mu.Lock()
+			newRecs = append(newRecs, rec)
+			evaluated++
+			if rec.Feasible && rec.Spec != nil {
+				frontier.Add(Point{Trial: rec.Trial, Source: rec.Source, Metrics: rec.Metrics, Record: &newRecs[len(newRecs)-1]})
+			}
+			n := evaluated
+			mu.Unlock()
+			if n%16 == 0 {
+				cfg.logf("%d/%d trials evaluated, frontier %d", n+len(resumed), cfg.Trials, frontier.Size())
+			}
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go worker()
+	}
+dispatch:
+	for trial := 0; trial < cfg.Trials; trial++ {
+		if done[trial] {
+			continue
+		}
+		select {
+		case trialCh <- trial:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(trialCh)
+	wg.Wait()
+	if logErr != nil {
+		return nil, fmt.Errorf("search: checkpoint write: %w", logErr)
+	}
+
+	// Frontier points added from newRecs hold pointers into a slice that
+	// may have been reallocated by later appends; rebuild from the final
+	// slices so Record pointers are stable.
+	all := append(append([]TrialRecord(nil), resumed...), newRecs...)
+	sortRecords(all)
+	final := &Frontier{}
+	for i := range all {
+		if all[i].Feasible && all[i].Spec != nil {
+			final.Add(Point{Trial: all[i].Trial, Source: all[i].Source, Metrics: all[i].Metrics, Record: &all[i]})
+		}
+	}
+	cfg.logf("search done: %d trials (%d resumed), frontier %d", len(all), len(resumed), final.Size())
+	return &Result{
+		Frontier: final, Task: cfg.Task, Device: cfg.Device,
+		Trials: all, Evaluated: evaluated, Resumed: len(resumed),
+	}, ctx.Err()
+}
+
+// runTrial generates and evaluates one candidate. Generation is seeded by
+// (Seed, trial) so a resumed run regenerates the same random candidates
+// for the same indices. The generator decisions are drawn from the rng in
+// a fixed order BEFORE the shared frontier is consulted: the random
+// candidate stream must be a pure function of (Seed, trial), not of how
+// full the frontier happened to be when the scheduler got to this trial.
+func (c *Config) runTrial(trial int, space *Space, frontier *Frontier, warm *arch.Spec) TrialRecord {
+	rng := rand.New(rand.NewSource(c.Seed*1_000_003 + int64(trial)))
+	mutateRoll := rng.Float64()
+	parentPick := rng.Int63()
+	name := fmt.Sprintf("trial-%03d", trial)
+	rec := TrialRecord{Trial: trial, Source: "random", Task: c.Task, Device: c.Device.Name, Seed: c.Seed}
+	parent, hasParent := frontier.Pick(parentPick)
+	if warm != nil {
+		rec.Source = "dnas"
+		rec.Spec = warm
+	} else if hasParent && c.MutateFrac > 0 && mutateRoll < c.MutateFrac {
+		rec.Source = "mutate"
+		rec.Spec = space.Mutate(name, parent.Record.Spec, rng)
+	} else {
+		rec.Spec = space.Random(name, rng)
+	}
+	met, err := Evaluate(rec.Spec, c.Device)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Metrics = met
+	rec.Violations = c.Budgets.Check(met)
+	rec.Feasible = len(rec.Violations) == 0
+	return rec
+}
+
+// dnasWarmStart runs the differentiable search (internal/core) on the
+// task's synthetic dataset under byte-denominated constraints derived
+// from the budgets, returning the discretized architecture.
+func dnasWarmStart(cfg Config, space *Space) (*arch.Spec, error) {
+	var (
+		snCfg core.SupernetConfig
+		ds    *datasets.Dataset
+	)
+	const maxC, blocks = 64, 4
+	switch cfg.Task {
+	case "kws":
+		snCfg = core.KWSSupernetConfig(space.InputH, space.InputW, space.NumClasses, maxC, blocks)
+		ds = datasets.SynthKWS(datasets.KWSOptions{PerClass: 8, Seed: cfg.Seed})
+	case "ad":
+		snCfg = core.ADSupernetConfig(maxC, blocks)
+		ad := datasets.SynthAD(datasets.ADOptions{ClipsPerMachine: 8, Seed: cfg.Seed})
+		ds = ad.ClassifierDataset()
+	default:
+		return nil, fmt.Errorf("search: no DNAS config for task %q", cfg.Task)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trainDS, valDS := ds.Split(rng, 0.3)
+	// Byte-denominated constraints from the deployment budgets, minus the
+	// runtime overheads the paper subtracts (§5.1); the headroom factors
+	// leave room for persistent buffers and quant metadata, which the
+	// relaxed model cannot see but the planner will charge. If a budget
+	// sits below the fixed runtime overhead, no model can ever fit — fail
+	// loudly instead of letting the zero-budget guard in
+	// core.Constraints.Penalty run the warm start unconstrained.
+	cons := core.Constraints{
+		MaxWeightBytes: float64(cfg.Budgets.FlashBytes-tflm.RuntimeCodeFlashBytes-tflm.OtherFlashBytes) * 0.8,
+		MaxArenaBytes:  float64(cfg.Budgets.SRAMBytes-tflm.InterpreterSRAMBytes-tflm.OtherSRAMBytes) * 0.8,
+		MaxOps:         40e6,
+	}
+	if cons.MaxWeightBytes <= 0 || cons.MaxArenaBytes <= 0 {
+		return nil, fmt.Errorf("budgets (%d KB SRAM, %d KB flash) are below the TFLM runtime overheads",
+			cfg.Budgets.SRAMBytes/1024, cfg.Budgets.FlashBytes/1024)
+	}
+	sn, err := core.NewSupernet(rng, snCfg)
+	if err != nil {
+		return nil, err
+	}
+	trainRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	valRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	res, err := core.RunSearch(sn,
+		func(int) core.Batch {
+			x, labels := trainDS.RandomBatch(trainRng, 8)
+			return core.Batch{X: x, Labels: labels}
+		},
+		func(int) core.Batch {
+			x, labels := valDS.RandomBatch(valRng, 8)
+			return core.Batch{X: x, Labels: labels}
+		},
+		cons,
+		core.SearchConfig{
+			Steps: cfg.DNASSteps, ArchStartStep: cfg.DNASSteps / 5,
+			WeightLR: nn.CosineSchedule{Start: 0.05, End: 0.002, Steps: cfg.DNASSteps},
+			Seed:     cfg.Seed,
+		})
+	if err != nil {
+		return nil, err
+	}
+	spec := res.Spec
+	spec.Name = "trial-000"
+	return spec, nil
+}
+
+func sortRecords(recs []TrialRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Trial < recs[j].Trial })
+}

@@ -1,0 +1,92 @@
+package search
+
+import (
+	"sort"
+	"sync"
+)
+
+// Point is one feasible candidate on (or competing for) the frontier.
+type Point struct {
+	Trial   int     `json:"trial"`
+	Source  string  `json:"source"` // "random", "mutate", "dnas"
+	Metrics Metrics `json:"metrics"`
+	// Record links back to the trial log entry carrying the full spec.
+	Record *TrialRecord `json:"-"`
+}
+
+// dominates reports whether a is at least as good as b on every objective
+// — accuracy proxy up; latency, SRAM and flash down — and strictly better
+// on at least one. Energy is deliberately not a fourth independent axis:
+// power is model-independent (§3.4), so energy ranks identically to
+// latency on a fixed device.
+func dominates(a, b Metrics) bool {
+	if a.AccuracyProxy < b.AccuracyProxy || a.LatencyS > b.LatencyS ||
+		a.TotalSRAMBytes > b.TotalSRAMBytes || a.TotalFlashBytes > b.TotalFlashBytes {
+		return false
+	}
+	return a.AccuracyProxy > b.AccuracyProxy || a.LatencyS < b.LatencyS ||
+		a.TotalSRAMBytes < b.TotalSRAMBytes || a.TotalFlashBytes < b.TotalFlashBytes
+}
+
+// Frontier is a live, thread-safe Pareto frontier over
+// (accuracy-proxy, latency, SRAM, flash). Workers insert concurrently;
+// the evolutionary sampler draws parents from it concurrently.
+type Frontier struct {
+	mu  sync.RWMutex
+	pts []Point
+}
+
+// Add inserts a point unless an existing member dominates it — or ties
+// it exactly on every objective, so re-discovered duplicates of a
+// frontier architecture don't pile up — evicting any members the new
+// point dominates. It reports whether the point joined the frontier.
+func (f *Frontier) Add(p Point) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, q := range f.pts {
+		if dominates(q.Metrics, p.Metrics) || q.Metrics == p.Metrics {
+			return false
+		}
+	}
+	kept := f.pts[:0]
+	for _, q := range f.pts {
+		if !dominates(p.Metrics, q.Metrics) {
+			kept = append(kept, q)
+		}
+	}
+	f.pts = append(kept, p)
+	return true
+}
+
+// Points returns a snapshot sorted by latency (fastest first).
+func (f *Frontier) Points() []Point {
+	f.mu.RLock()
+	out := append([]Point(nil), f.pts...)
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Metrics.LatencyS != out[j].Metrics.LatencyS {
+			return out[i].Metrics.LatencyS < out[j].Metrics.LatencyS
+		}
+		return out[i].Trial < out[j].Trial
+	})
+	return out
+}
+
+// Size returns the current frontier cardinality.
+func (f *Frontier) Size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.pts)
+}
+
+// Pick selects the member at pick mod size — the caller pre-draws pick
+// from its own deterministic stream, so consulting the frontier consumes
+// no RNG state (see Config.runTrial).
+func (f *Frontier) Pick(pick int64) (Point, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(f.pts) == 0 {
+		return Point{}, false
+	}
+	return f.pts[int(pick%int64(len(f.pts)))], true
+}

@@ -1,0 +1,94 @@
+package search
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"micronets/internal/mcu"
+	"micronets/internal/serve"
+	"micronets/internal/zoo"
+)
+
+// TestExportedFrontierModelServes proves the search → zoo → serving loop
+// end to end in-process: a frontier winner exported by the harness is
+// loaded by the serving registry under its exported name and answers a
+// live /v2/models/{name}/infer request.
+func TestExportedFrontierModelServes(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Task: "kws", Device: mcu.F446RE, Trials: 8, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Frontier.Points()
+	if len(pts) == 0 {
+		t.Fatal("empty frontier")
+	}
+	_, names, err := ExportFrontier(pts, "NAS-serve-kws-S", "search_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range names {
+			zoo.Unregister(n)
+		}
+	})
+
+	srv, err := serve.New(serve.Config{
+		Models:   names[:1],
+		Options:  serve.ModelOptions{AppendSoftmax: true},
+		PoolSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	e, err := zoo.Get(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+	data := make([]string, elems)
+	for i := range data {
+		data[i] = "0.25"
+	}
+	body := fmt.Sprintf(`{"inputs":[{"name":"input","shape":[%d,%d,%d],"datatype":"FP32","data":[%s]}]}`,
+		e.Spec.InputH, e.Spec.InputW, e.Spec.InputC, strings.Join(data, ","))
+	resp, err := ts.Client().Post(ts.URL+"/v2/models/"+names[0]+"/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("infer on exported model returned %d", resp.StatusCode)
+	}
+	var out struct {
+		ModelName string `json:"model_name"`
+		Outputs   []struct {
+			Name string    `json:"name"`
+			Data []float64 `json:"data"`
+		} `json:"outputs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ModelName != names[0] {
+		t.Fatalf("served model %q, want %q", out.ModelName, names[0])
+	}
+	gotScores := false
+	for _, o := range out.Outputs {
+		if o.Name == "scores" && len(o.Data) == e.Spec.NumClasses {
+			gotScores = true
+		}
+	}
+	if !gotScores {
+		t.Fatalf("no %d-way scores tensor in response: %+v", e.Spec.NumClasses, out.Outputs)
+	}
+}

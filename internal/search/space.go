@@ -1,0 +1,187 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"micronets/internal/arch"
+)
+
+// Space is a DS-CNN-style architecture search space for one task,
+// parameterized the way the paper's KWS/AD spaces are (§5.2.2, §5.2.3): a
+// first standard convolution followed by a variable-depth stack of
+// depthwise-separable blocks with per-block searchable widths (multiples
+// of 4, the CMSIS-NN fast-path granularity), then the task's fixed
+// pool+classifier tail. A candidate is fully described by its width
+// vector [firstConvC, dsC0, dsC1, ...]; strides are a deterministic
+// function of position (stridePattern), which keeps every sampled and
+// mutated candidate geometrically valid by construction.
+type Space struct {
+	Task                   string
+	InputH, InputW, InputC int
+	NumClasses             int
+	FirstKH, FirstKW       int
+	FirstStride            int
+	// PoolKH/PoolKW is the fixed average-pool tail; 0 means global pool.
+	PoolKH, PoolKW int
+	// MinBlocks/MaxBlocks bound the DS-block count.
+	MinBlocks, MaxBlocks int
+	// MinC/MaxC bound every width; both multiples of 4.
+	MinC, MaxC int
+	// strideFor returns the stride of DS block i out of n.
+	strideFor func(i, n int) int
+}
+
+// SpaceForTask returns the search space for a task ("kws" or "ad").
+func SpaceForTask(task string) (*Space, error) {
+	switch task {
+	case "kws":
+		// 49x10 MFCC input; the first DS block downsamples to 25x5, which
+		// the 25x5 average pool collapses — the Table 5 KWS geometry.
+		return &Space{
+			Task: "kws", InputH: 49, InputW: 10, InputC: 1, NumClasses: 12,
+			FirstKH: 10, FirstKW: 4, FirstStride: 1,
+			PoolKH: 25, PoolKW: 5,
+			MinBlocks: 2, MaxBlocks: 8, MinC: 8, MaxC: 256,
+			strideFor: func(i, n int) int {
+				if i == 0 {
+					return 2
+				}
+				return 1
+			},
+		}, nil
+	case "ad":
+		// 32x32 spectrogram patches; stride 2 on the first and last two DS
+		// blocks takes 32 -> 4 for the 4x4 pool — the MicroNet-AD geometry.
+		return &Space{
+			Task: "ad", InputH: 32, InputW: 32, InputC: 1, NumClasses: 4,
+			FirstKH: 3, FirstKW: 3, FirstStride: 1,
+			PoolKH: 4, PoolKW: 4,
+			MinBlocks: 3, MaxBlocks: 7, MinC: 8, MaxC: 256,
+			strideFor: func(i, n int) int {
+				if i == 0 || i >= n-2 {
+					return 2
+				}
+				return 1
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("search: no search space for task %q (have kws, ad)", task)
+	}
+}
+
+// clampWidth snaps a width into [MinC, MaxC] on the multiple-of-4 grid.
+func (s *Space) clampWidth(c int) int {
+	c = (c + 3) / 4 * 4
+	if c < s.MinC {
+		c = s.MinC
+	}
+	if c > s.MaxC {
+		c = s.MaxC
+	}
+	return c
+}
+
+// randWidth samples a width log-uniformly (so small and large widths are
+// both explored rather than the grid being dominated by wide blocks).
+func (s *Space) randWidth(rng *rand.Rand) int {
+	lo, hi := float64(s.MinC), float64(s.MaxC)
+	c := lo * math.Pow(hi/lo, rng.Float64())
+	return s.clampWidth(int(c))
+}
+
+// Build constructs the Spec for a width vector (first conv width followed
+// by one width per DS block).
+func (s *Space) Build(name string, widths []int) *arch.Spec {
+	n := len(widths) - 1
+	spec := &arch.Spec{
+		Name: name, Task: s.Task, Source: "search",
+		InputH: s.InputH, InputW: s.InputW, InputC: s.InputC,
+		NumClasses: s.NumClasses,
+	}
+	spec.Blocks = append(spec.Blocks, arch.Block{
+		Kind: arch.Conv, KH: s.FirstKH, KW: s.FirstKW,
+		OutC: s.clampWidth(widths[0]), Stride: s.FirstStride,
+	})
+	for i := 0; i < n; i++ {
+		spec.Blocks = append(spec.Blocks, arch.Block{
+			Kind: arch.DSBlock, KH: 3, KW: 3,
+			OutC: s.clampWidth(widths[i+1]), Stride: s.strideFor(i, n),
+		})
+	}
+	if s.PoolKH > 0 {
+		spec.Blocks = append(spec.Blocks, arch.Block{Kind: arch.AvgPool, KH: s.PoolKH, KW: s.PoolKW, Stride: 1})
+	} else {
+		spec.Blocks = append(spec.Blocks, arch.Block{Kind: arch.GlobalPool})
+	}
+	spec.Blocks = append(spec.Blocks, arch.Block{Kind: arch.Dense, OutC: s.NumClasses})
+	return spec
+}
+
+// Random samples a candidate uniformly in depth and log-uniformly in
+// width.
+func (s *Space) Random(name string, rng *rand.Rand) *arch.Spec {
+	n := s.MinBlocks + rng.Intn(s.MaxBlocks-s.MinBlocks+1)
+	widths := make([]int, n+1)
+	for i := range widths {
+		widths[i] = s.randWidth(rng)
+	}
+	return s.Build(name, widths)
+}
+
+// Widths extracts the width vector from a spec (first conv plus DS
+// blocks), tolerating specs that did not originate from this space (e.g.
+// a DNAS-discretized architecture): unknown block kinds are skipped and
+// the result is clamped to the space's depth bounds.
+func (s *Space) Widths(spec *arch.Spec) []int {
+	var widths []int
+	for _, b := range spec.Blocks {
+		switch b.Kind {
+		case arch.Conv:
+			if len(widths) == 0 {
+				widths = append(widths, b.OutC)
+			}
+		case arch.DSBlock:
+			if len(widths) > 0 {
+				widths = append(widths, b.OutC)
+			}
+		}
+	}
+	if len(widths) == 0 {
+		widths = []int{s.MinC}
+	}
+	for len(widths)-1 < s.MinBlocks {
+		widths = append(widths, widths[len(widths)-1])
+	}
+	if len(widths)-1 > s.MaxBlocks {
+		widths = widths[:s.MaxBlocks+1]
+	}
+	return widths
+}
+
+// Mutate derives a new candidate from a parent via one of three
+// evolutionary moves — jitter one width, insert a block (duplicating a
+// neighbor's width), or remove a block — always staying inside the space.
+func (s *Space) Mutate(name string, parent *arch.Spec, rng *rand.Rand) *arch.Spec {
+	widths := s.Widths(parent)
+	n := len(widths) - 1
+	switch op := rng.Intn(3); {
+	case op == 1 && n < s.MaxBlocks:
+		// Insert a DS block, copying the width at the insertion point.
+		at := 1 + rng.Intn(n+1)
+		widths = append(widths[:at], append([]int{widths[min(at, len(widths)-1)]}, widths[at:]...)...)
+	case op == 2 && n > s.MinBlocks:
+		at := 1 + rng.Intn(n)
+		widths = append(widths[:at], widths[at+1:]...)
+	default:
+		// Width jitter: one position, one to three grid steps either way.
+		at := rng.Intn(len(widths))
+		delta := 4 * (1 + rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		widths[at] = s.clampWidth(widths[at] + delta)
+	}
+	return s.Build(name, widths)
+}

@@ -1,18 +1,36 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — build cmd/serve, boot it in the background, and prove
 # one real /v2 round-trip: readiness, model metadata, and an infer POST
-# whose response carries an argmax class. Used by `make serve-smoke` and
+# whose response carries an argmax class. Also runs the NAS harness first
+# (cmd/search -trials 64) and proves that an exported frontier model is
+# servable through the same /v2 protocol. Used by `make serve-smoke` and
 # the CI serve-smoke job (keep the two in sync by editing only this file).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:${SERVE_SMOKE_PORT:-8151}"
-BIN="$(mktemp -d)/micronets-serve"
+WORK="$(mktemp -d)"
+BIN="$WORK/micronets-serve"
 MODEL="MicroNet-KWS-S"
+
+# --- NAS search: 64 hardware-in-the-loop trials, JSONL log + exported frontier.
+go run ./cmd/search -trials 64 -seed 42 \
+    -log "$WORK/search_trials.jsonl" -export "$WORK/frontier.json" -export-top 3
+test -s "$WORK/search_trials.jsonl"
+head -1 "$WORK/search_trials.jsonl" | jq -e 'has("trial") and has("metrics")' >/dev/null
+jq -e '.specs | length >= 1' "$WORK/frontier.json" >/dev/null
+NAS_MODEL=$(jq -r '.specs[0].Name' "$WORK/frontier.json")
+echo "search OK: exported frontier model $NAS_MODEL"
+
+# Machine-readable frontier for the cross-PR perf trajectory — resumes
+# the trial log the search above just wrote instead of re-evaluating.
+go run ./cmd/bench -exp search -json -search-log "$WORK/search_trials.jsonl" >/dev/null
+jq -e '.frontier | length >= 1' BENCH_search.json >/dev/null
+echo "bench search OK: $(jq '.frontier | length' BENCH_search.json) frontier points in BENCH_search.json"
 
 go build -o "$BIN" ./cmd/serve
 
-"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S" -log json &
+"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S,$NAS_MODEL" -specs "$WORK/frontier.json" -log json &
 PID=$!
 cleanup() { kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -26,7 +44,7 @@ done
 curl -fsS "http://$ADDR/v2/health/ready" | jq -e '.ready == true' >/dev/null
 echo "ready OK"
 
-curl -fsS "http://$ADDR/v2/models" | jq -e '.models | length == 2' >/dev/null
+curl -fsS "http://$ADDR/v2/models" | jq -e '.models | length == 3' >/dev/null
 curl -fsS "http://$ADDR/v2/models/$MODEL" | jq -e '.inputs[0].shape == [49,10,1]' >/dev/null
 echo "metadata OK"
 
@@ -36,6 +54,13 @@ RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
 echo "$RESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1' >/dev/null
 echo "$RESP" | jq -e '.outputs[] | select(.name=="scores") | .data | length == 12' >/dev/null
 echo "infer OK: class $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]') score $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="score") | .data[0]]')"
+
+# The searched architecture serves through the identical protocol.
+NAS_RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "$PAYLOAD" "http://$ADDR/v2/models/$NAS_MODEL/infer")
+echo "$NAS_RESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1' >/dev/null
+echo "$NAS_RESP" | jq -e --arg m "$NAS_MODEL" '.model_name == $m' >/dev/null
+echo "NAS infer OK: $NAS_MODEL answered class $(echo "$NAS_RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]')"
 
 curl -fsS "http://$ADDR/metrics" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"} 1'
 echo "metrics OK"
