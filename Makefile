@@ -38,6 +38,14 @@ serve:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# search-smoke runs just the two-stage NAS search end to end (64 proxy
+# trials, 2 finalists re-ranked by 30-step real training runs) and
+# asserts the trained accuracies landed in the trial log and
+# BENCH_search.json. serve-smoke runs the same script before serving.
+.PHONY: search-smoke
+search-smoke:
+	./scripts/search_smoke.sh
+
 # fuzz-smoke runs each kernels fuzz target briefly, as CI does.
 .PHONY: fuzz-smoke
 fuzz-smoke:

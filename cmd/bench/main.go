@@ -31,12 +31,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1..table5, fig2..fig11, div4, engine, search) or 'all'")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<exp>.json with machine-readable results, so the perf trajectory is tracked across PRs")
 	searchLog := flag.String("search-log", "", "JSONL trial log for -exp search: a matching prior cmd/search run is resumed instead of re-evaluated")
+	finalists := flag.Int("finalists", 2, "frontier finalists the search experiment re-ranks with real training runs (0 disables)")
+	trainSteps := flag.Int("train-steps", 30, "training steps per search finalist")
 	flag.Parse()
 
 	// engineRows/searchRows cache those experiments' measurements so -json
 	// serializes the exact run that was printed, not a second one.
 	var engineRows []experiments.EngineRow
-	var searchRows []experiments.SearchRow
+	var searchRows, finalistRows []experiments.SearchRow
 
 	runners := []struct {
 		id string
@@ -66,11 +68,12 @@ func main() {
 			return experiments.RenderEngineRows(rows), nil
 		}},
 		{"search", func() (string, error) {
-			rows, res, err := experiments.SearchExperiment(64, seed, *searchLog)
+			rows, res, err := experiments.SearchExperiment(64, seed, *searchLog, *finalists, *trainSteps)
 			if err != nil {
 				return "", err
 			}
 			searchRows = rows
+			finalistRows = experiments.FinalistRows(res)
 			return experiments.RenderSearchRows(rows, res), nil
 		}},
 	}
@@ -86,7 +89,7 @@ func main() {
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.id, out)
 		if *jsonOut {
-			if err := writeJSON(r.id, out, engineRows, searchRows); err != nil {
+			if err := writeJSON(r.id, out, engineRows, searchRows, finalistRows); err != nil {
 				log.Fatalf("%s: write json: %v", r.id, err)
 			}
 		}
@@ -110,12 +113,17 @@ type engineJSONRow struct {
 // writeJSON writes BENCH_<id>.json. The engine and search experiments
 // serialize the same measured rows their text tables rendered; text-only
 // experiments get the rendered report wrapped so every experiment is
-// still diffable by machine.
-func writeJSON(id, report string, rows []experiments.EngineRow, searchRows []experiments.SearchRow) error {
+// still diffable by machine. The search payload carries both the full
+// frontier (proxy-ranked) and the finalist re-rank (trained accuracy),
+// so the proxy-vs-trained gap is tracked across PRs.
+func writeJSON(id, report string, rows []experiments.EngineRow, searchRows, finalistRows []experiments.SearchRow) error {
 	path := fmt.Sprintf("BENCH_%s.json", id)
 	var payload any
 	if id == "search" && searchRows != nil {
-		payload = map[string]any{"experiment": id, "frontier": searchRows}
+		if finalistRows == nil {
+			finalistRows = []experiments.SearchRow{}
+		}
+		payload = map[string]any{"experiment": id, "frontier": searchRows, "finalists": finalistRows}
 	} else if id == "engine" && rows != nil {
 		flat := make([]engineJSONRow, 0, 2*len(rows))
 		for _, r := range rows {
@@ -228,7 +236,10 @@ func runDiv4() (string, error) {
 			return "", err
 		}
 		// Time just the affected pointwise convs.
-		_, lats := mcu.ModelLatency(m, mcu.F767ZI)
+		_, lats, err := mcu.ModelLatency(m, mcu.F767ZI)
+		if err != nil {
+			return "", err
+		}
 		var ms float64
 		for i, op := range m.Ops {
 			if op.Kind == graph.OpConv2D && op.KH == 1 {

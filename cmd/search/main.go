@@ -1,15 +1,19 @@
-// Command search runs the parallel hardware-in-the-loop NAS harness
-// (internal/search): candidate architectures — random samples,
-// evolutionary mutations of the live Pareto frontier, and an optional
-// DNAS-warm-started seed (§5) — are lowered through the real deployment
-// path (graph → tflm memory planner → mcu latency/energy models) and
-// competed on (accuracy-proxy, latency, SRAM, flash). Every trial is
-// checkpointed to a JSONL log for resume; frontier winners are exported
-// as a spec file cmd/serve can load with -specs.
+// Command search runs the parallel two-stage hardware-in-the-loop NAS
+// harness (internal/search). Stage one sweeps: candidate architectures —
+// random samples, evolutionary mutations of the live Pareto frontier, and
+// an optional DNAS-warm-started seed (§5) — are lowered through the real
+// deployment path (graph → tflm memory planner → mcu latency/energy
+// models) and competed on (accuracy-proxy, latency, SRAM, flash). Stage
+// two re-ranks: -finalists K frontier points are trained for real
+// (-train-steps each) on the task's quick synthetic dataset, and their
+// measured accuracy replaces the proxy in the finalist ordering. Every
+// trial — and every finalist training — is checkpointed to a JSONL log
+// for resume; frontier winners are exported as a spec file cmd/serve can
+// load with -specs.
 //
 // Usage:
 //
-//	search -task kws -device S -trials 64
+//	search -task kws -device S -trials 64 -finalists 3 -train-steps 60
 //	search -task ad -device L -trials 256 -log trials.jsonl -export frontier.json
 //	search -task kws -device S -trials 64 -log trials.jsonl   # re-run resumes
 package main
@@ -41,6 +45,8 @@ func main() {
 	flashKB := flag.Int("flash-kb", 0, "flash budget in KB (0 = device flash)")
 	maxLatMS := flag.Float64("max-latency-ms", 0, "latency budget in ms (0 = unconstrained)")
 	dnasSteps := flag.Int("dnas-steps", 40, "DNAS warm-start steps for trial 0 (0 disables)")
+	finalists := flag.Int("finalists", 3, "frontier finalists re-ranked by real training runs (0 disables stage two)")
+	trainSteps := flag.Int("train-steps", 60, "training steps per finalist (stage two)")
 	logPath := flag.String("log", "search_trials.jsonl", "JSONL trial log (checkpoint/resume); empty disables")
 	exportPath := flag.String("export", "search_frontier.json", "spec file for the exported frontier; empty disables")
 	exportTop := flag.Int("export-top", 0, "export at most N frontier models, spread across the latency range (0 = all)")
@@ -82,6 +88,8 @@ func main() {
 		Seed:           *seed,
 		MutateFrac:     *mutateFrac,
 		DNASSteps:      *dnasSteps,
+		Finalists:      *finalists,
+		TrainSteps:     *trainSteps,
 		CheckpointPath: *logPath,
 		Log:            func(s string) { fmt.Println("  " + s) },
 	})
@@ -102,6 +110,11 @@ func main() {
 	fmt.Printf("\n%d trials (%d resumed), %d feasible, Pareto frontier %d:\n\n",
 		len(res.Trials), res.Resumed, feasible, len(pts))
 	fmt.Print(experiments.RenderSearchTable(experiments.FrontierRows(res)))
+	if finalistRows := experiments.FinalistRows(res); len(finalistRows) > 0 {
+		fmt.Printf("\nfinalist re-rank (%d trained for %d steps each, best first):\n\n",
+			len(finalistRows), *trainSteps)
+		fmt.Print(experiments.RenderSearchTable(finalistRows))
+	}
 	if len(pts) == 0 {
 		if err != nil {
 			log.Fatal("interrupted before any feasible candidate was found; re-run with the same -log to continue")
@@ -110,20 +123,9 @@ func main() {
 	}
 
 	if *exportPath != "" {
-		exported := pts
-		if *exportTop > 0 && len(exported) > *exportTop {
-			// Points are latency-sorted; take an even spread so the export
-			// covers the whole frontier, not just its fast end.
-			picked := make([]search.Point, 0, *exportTop)
-			if *exportTop == 1 {
-				picked = append(picked, exported[0])
-			} else {
-				for i := 0; i < *exportTop; i++ {
-					picked = append(picked, exported[i*(len(exported)-1)/(*exportTop-1)])
-				}
-			}
-			exported = picked
-		}
+		// Points are latency-sorted; an even spread covers the whole
+		// frontier, not just its fast end.
+		exported := search.SpreadPoints(pts, *exportTop)
 		prefix := fmt.Sprintf("NAS-%s-%s", *task, dev.Class)
 		file, names, err := search.ExportFrontier(exported, prefix, strings.Join(os.Args, " "))
 		if err != nil {

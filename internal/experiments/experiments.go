@@ -80,7 +80,10 @@ func Figure3(perKind int, seed int64) ([]LayerPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			_, lats := mcu.ModelLatency(m, mcu.F767ZI)
+			_, lats, err := mcu.ModelLatency(m, mcu.F767ZI)
+			if err != nil {
+				return nil, err
+			}
 			for oi, op := range m.Ops {
 				var k string
 				switch op.Kind {

@@ -12,18 +12,36 @@ import (
 // SearchRow is one Pareto-frontier point of the NAS experiment, the
 // machine-readable row of BENCH_search.json — the cross-PR trajectory
 // format for the search subsystem (frontier quality should only improve
-// as the harness and spaces get smarter).
+// as the harness and spaces get smarter). TrainedAcc is 0 for points the
+// accuracy-in-the-loop second stage did not train.
 type SearchRow struct {
-	Trial     int     `json:"trial"`
-	Source    string  `json:"source"`
-	AccProxy  float64 `json:"accuracy_proxy"`
-	LatencyMS float64 `json:"latency_ms"`
-	EnergyMJ  float64 `json:"energy_mj"`
-	ArenaKB   float64 `json:"arena_kb"`
-	SRAMKB    float64 `json:"sram_kb"`
-	WeightKB  float64 `json:"weight_kb"`
-	FlashKB   float64 `json:"flash_kb"`
-	MOps      float64 `json:"mops"`
+	Trial      int     `json:"trial"`
+	Source     string  `json:"source"`
+	AccProxy   float64 `json:"accuracy_proxy"`
+	TrainedAcc float64 `json:"trained_accuracy"`
+	LatencyMS  float64 `json:"latency_ms"`
+	EnergyMJ   float64 `json:"energy_mj"`
+	ArenaKB    float64 `json:"arena_kb"`
+	SRAMKB     float64 `json:"sram_kb"`
+	WeightKB   float64 `json:"weight_kb"`
+	FlashKB    float64 `json:"flash_kb"`
+	MOps       float64 `json:"mops"`
+}
+
+func rowFromPoint(p search.Point) SearchRow {
+	return SearchRow{
+		Trial:      p.Trial,
+		Source:     p.Source,
+		AccProxy:   p.Metrics.AccuracyProxy,
+		TrainedAcc: p.Metrics.TrainedAccuracy,
+		LatencyMS:  p.Metrics.LatencyS * 1e3,
+		EnergyMJ:   p.Metrics.EnergyMJ,
+		ArenaKB:    float64(p.Metrics.ArenaBytes) / 1024,
+		SRAMKB:     float64(p.Metrics.TotalSRAMBytes) / 1024,
+		WeightKB:   float64(p.Metrics.WeightBytes) / 1024,
+		FlashKB:    float64(p.Metrics.TotalFlashBytes) / 1024,
+		MOps:       float64(p.Metrics.Ops) / 1e6,
+	}
 }
 
 // FrontierRows flattens a finished run's Pareto frontier into rows; it is
@@ -31,34 +49,35 @@ type SearchRow struct {
 func FrontierRows(res *search.Result) []SearchRow {
 	var rows []SearchRow
 	for _, p := range res.Frontier.Points() {
-		rows = append(rows, SearchRow{
-			Trial:     p.Trial,
-			Source:    p.Source,
-			AccProxy:  p.Metrics.AccuracyProxy,
-			LatencyMS: p.Metrics.LatencyS * 1e3,
-			EnergyMJ:  p.Metrics.EnergyMJ,
-			ArenaKB:   float64(p.Metrics.ArenaBytes) / 1024,
-			SRAMKB:    float64(p.Metrics.TotalSRAMBytes) / 1024,
-			WeightKB:  float64(p.Metrics.WeightBytes) / 1024,
-			FlashKB:   float64(p.Metrics.TotalFlashBytes) / 1024,
-			MOps:      float64(p.Metrics.Ops) / 1e6,
-		})
+		rows = append(rows, rowFromPoint(p))
 	}
 	return rows
 }
 
-// SearchExperiment runs the hardware-in-the-loop NAS harness for the
-// paper's KWS task on the small MCU (the most constrained Table 4
-// setting) and returns the frontier as rows plus the run's summary
-// counters. A non-empty checkpoint path resumes a matching prior run
-// (same task/device/seed) instead of re-evaluating — the serve-smoke
-// script uses this to derive BENCH_search.json from the cmd/search run
-// it already paid for.
-func SearchExperiment(trials int, seed int64, checkpoint string) ([]SearchRow, *search.Result, error) {
+// FinalistRows flattens the stage-two re-rank (best trained accuracy
+// first) — the proxy-vs-trained comparison BENCH_search.json records.
+func FinalistRows(res *search.Result) []SearchRow {
+	var rows []SearchRow
+	for _, p := range res.Finalists {
+		rows = append(rows, rowFromPoint(p))
+	}
+	return rows
+}
+
+// SearchExperiment runs the two-stage NAS harness for the paper's KWS
+// task on the small MCU (the most constrained Table 4 setting) and
+// returns the frontier as rows plus the run's summary counters. A
+// non-empty checkpoint path resumes a matching prior run (same
+// task/device/seed, and same train-steps for the finalist stage) instead
+// of re-evaluating — the serve-smoke script uses this to derive
+// BENCH_search.json from the cmd/search run it already paid for.
+// finalists 0 disables the accuracy-in-the-loop stage.
+func SearchExperiment(trials int, seed int64, checkpoint string, finalists, trainSteps int) ([]SearchRow, *search.Result, error) {
 	dev := mcu.F446RE
 	res, err := search.Run(context.Background(), search.Config{
 		Task: "kws", Device: dev, Budgets: search.DeviceBudgets(dev),
 		Trials: trials, Seed: seed, DNASSteps: 40,
+		Finalists: finalists, TrainSteps: trainSteps,
 		CheckpointPath: checkpoint,
 	})
 	if err != nil {
@@ -68,20 +87,26 @@ func SearchExperiment(trials int, seed int64, checkpoint string) ([]SearchRow, *
 }
 
 // RenderSearchTable renders frontier rows in the style of the paper's
-// Table 4 (per-model resource/latency columns).
+// Table 4 (per-model resource/latency columns); the trained column shows
+// "-" for points the second stage did not train.
 func RenderSearchTable(rows []SearchRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %-8s %8s %10s %10s %10s %8s\n",
-		"trial", "source", "acc(%)", "lat(ms)", "SRAM(KB)", "flash(KB)", "MOps")
+	fmt.Fprintf(&b, "%-10s %-8s %8s %10s %10s %10s %10s %8s\n",
+		"trial", "source", "acc(%)", "trained(%)", "lat(ms)", "SRAM(KB)", "flash(KB)", "MOps")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "trial-%03d  %-8s %8.2f %10.2f %10.1f %10.1f %8.1f\n",
-			r.Trial, r.Source, r.AccProxy, r.LatencyMS, r.SRAMKB, r.FlashKB, r.MOps)
+		trained := "-"
+		if r.TrainedAcc > 0 {
+			trained = fmt.Sprintf("%.2f", r.TrainedAcc)
+		}
+		fmt.Fprintf(&b, "trial-%03d  %-8s %8.2f %10s %10.2f %10.1f %10.1f %8.1f\n",
+			r.Trial, r.Source, r.AccProxy, trained, r.LatencyMS, r.SRAMKB, r.FlashKB, r.MOps)
 	}
 	return b.String()
 }
 
-// RenderSearchRows renders the full experiment report: run counters plus
-// the frontier table.
+// RenderSearchRows renders the full experiment report: run counters, the
+// frontier table, and — when the accuracy-in-the-loop stage ran — the
+// finalist re-rank ordered by trained accuracy.
 func RenderSearchRows(rows []SearchRow, res *search.Result) string {
 	var b strings.Builder
 	feasible := 0
@@ -93,6 +118,12 @@ func RenderSearchRows(rows []SearchRow, res *search.Result) string {
 	fmt.Fprintf(&b, "NAS harness on %s: %d trials (%d resumed), %d feasible, frontier %d\n",
 		res.Device.Name, len(res.Trials), res.Resumed, feasible, len(rows))
 	b.WriteString(RenderSearchTable(rows))
-	b.WriteString("(accuracy is a capacity proxy pending accuracy-in-the-loop training; see ROADMAP)\n")
+	finalists := FinalistRows(res)
+	if len(finalists) == 0 {
+		b.WriteString("(accuracy is a capacity proxy; run with finalists > 0 for the accuracy-in-the-loop re-rank)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\nfinalist re-rank (%d trained, real short training runs, best first):\n", len(finalists))
+	b.WriteString(RenderSearchTable(finalists))
 	return b.String()
 }

@@ -60,7 +60,10 @@ func TestZeroAndOneOpModels(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			for _, dev := range Devices() {
-				lat, layers := ModelLatency(c.model, dev)
+				lat, layers, err := ModelLatency(c.model, dev)
+				if err != nil {
+					t.Fatalf("%s: %v", dev.Name, err)
+				}
 				if math.IsNaN(lat) || math.IsInf(lat, 0) {
 					t.Fatalf("%s: latency %v not finite", dev.Name, lat)
 				}
@@ -137,4 +140,54 @@ func TestDegenerateTraceParams(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestModelLatencyErrorPaths pins the latency model's failure contract:
+// an unscoreable device or an op kind the cost model does not cover must
+// surface as an error, never as a silent 0-second (or infinite) latency.
+// A zero latency would Pareto-dominate every real candidate in a
+// latency-ranked search, which is exactly the bug this guards against.
+func TestModelLatencyErrorPaths(t *testing.T) {
+	m := oneOpModel()
+
+	t.Run("nil-device", func(t *testing.T) {
+		if _, _, err := ModelLatency(m, nil); err == nil {
+			t.Fatal("nil device must error")
+		}
+	})
+	t.Run("uncalibrated-device", func(t *testing.T) {
+		broken := &Device{Name: "broken-board", ClockMHz: 0, CycleFactor: 1}
+		lat, _, err := ModelLatency(m, broken)
+		if err == nil {
+			t.Fatalf("zero-clock device must error, got latency %v", lat)
+		}
+		broken = &Device{Name: "broken-board", ClockMHz: 180, CycleFactor: 0}
+		if _, _, err := ModelLatency(m, broken); err == nil {
+			t.Fatal("zero-cycle-factor device must error")
+		}
+	})
+	t.Run("unmodeled-op-kind", func(t *testing.T) {
+		weird := oneOpModel()
+		weird.Ops[0].Kind = graph.OpKind(99)
+		lat, layers, err := ModelLatency(weird, F446RE)
+		if err == nil {
+			t.Fatalf("unmodeled op kind must error, got latency %v (%d layers)", lat, len(layers))
+		}
+		if _, err := OpCycles(weird, weird.Ops[0]); err == nil {
+			t.Fatal("OpCycles must reject an unmodeled op kind")
+		}
+	})
+	t.Run("latency-nan-on-error", func(t *testing.T) {
+		weird := oneOpModel()
+		weird.Ops[0].Kind = graph.OpKind(99)
+		if got := Latency(weird, F446RE); !math.IsNaN(got) {
+			t.Fatalf("convenience Latency on an unscoreable model = %v, want NaN", got)
+		}
+		// The NaN must not slip past CurrentTrace's zero-latency guard and
+		// masquerade as a believable all-sleep trace.
+		rng := rand.New(rand.NewSource(3))
+		if trace := CurrentTrace(weird, F446RE, 1.0, 0.001, 0.5, rng); len(trace) != 0 {
+			t.Fatalf("unscoreable model produced a %d-sample trace, want empty", len(trace))
+		}
+	})
 }

@@ -1,6 +1,7 @@
 package mcu
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -69,8 +70,11 @@ func layerNoise(op *graph.Op, m *graph.Model) float64 {
 }
 
 // OpCycles returns the modeled cycle count for one op on the M7 baseline
-// (before the device CycleFactor is applied).
-func OpCycles(m *graph.Model, op *graph.Op) float64 {
+// (before the device CycleFactor is applied). An op kind the cost model
+// does not cover is an error: scoring it as zero cycles would let a
+// malformed model undercut every real candidate in a latency-ranked
+// search.
+func OpCycles(m *graph.Model, op *graph.Op) (float64, error) {
 	in := m.Tensors[op.Inputs[0]]
 	out := m.Tensors[op.Output]
 	macs := float64(op.MACs(m))
@@ -107,6 +111,8 @@ func OpCycles(m *graph.Model, op *graph.Op) float64 {
 		cycles = float64(out.Elems()) * addPerElem
 	case graph.OpSoftmax:
 		cycles = float64(out.Elems()) * softmaxPerElem
+	default:
+		return 0, fmt.Errorf("mcu: no latency model for op %s (kind %v)", op.Name, op.Kind)
 	}
 	// Sub-byte emulation overheads apply to the MAC-bearing kernels.
 	if macs > 0 {
@@ -117,7 +123,7 @@ func OpCycles(m *graph.Model, op *graph.Op) float64 {
 			cycles += macs * int4ActPerMAC
 		}
 	}
-	return cycles * layerNoise(op, m)
+	return cycles * layerNoise(op, m), nil
 }
 
 // LayerLatency describes one op's modeled latency on a device.
@@ -132,27 +138,50 @@ type LayerLatency struct {
 // model on the device, plus the per-layer breakdown. A model with no ops
 // has nothing to invoke: latency is 0 and the breakdown is empty (rather
 // than charging the interpreter dispatch overhead for a dispatch that
-// never happens).
-func ModelLatency(m *graph.Model, dev *Device) (float64, []LayerLatency) {
+// never happens). A device the cost model cannot score (missing clock or
+// cycle calibration) or an op with no latency model is an error, never a
+// silent 0 — a 0-second candidate would Pareto-dominate every real one.
+func ModelLatency(m *graph.Model, dev *Device) (float64, []LayerLatency, error) {
+	if dev == nil {
+		return 0, nil, fmt.Errorf("mcu: ModelLatency needs a device")
+	}
+	if dev.ClockMHz <= 0 || dev.CycleFactor <= 0 {
+		return 0, nil, fmt.Errorf("mcu: device %s has no latency calibration (clock %.1f MHz, cycle factor %.3f)",
+			dev.Name, dev.ClockMHz, dev.CycleFactor)
+	}
 	if len(m.Ops) == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	clock := dev.ClockMHz * 1e6
 	total := invokeOverhead / clock * dev.CycleFactor
 	layers := make([]LayerLatency, 0, len(m.Ops))
 	for _, op := range m.Ops {
-		sec := OpCycles(m, op) * dev.CycleFactor / clock
+		cycles, err := OpCycles(m, op)
+		if err != nil {
+			return 0, nil, err
+		}
+		sec := cycles * dev.CycleFactor / clock
 		total += sec
 		layers = append(layers, LayerLatency{
 			Name: op.Name, Kind: op.Kind, Ops: op.Ops(m), Seconds: sec,
 		})
 	}
-	return total, layers
+	if math.IsNaN(total) || math.IsInf(total, 0) {
+		return 0, nil, fmt.Errorf("mcu: non-finite latency for %s on %s", m.Name, dev.Name)
+	}
+	return total, layers, nil
 }
 
-// Latency returns just the end-to-end latency in seconds.
+// Latency returns just the end-to-end latency in seconds. Unlike
+// ModelLatency it keeps the historical convenience signature for report
+// renderers over known-good zoo models; an unscoreable model/device pair
+// returns NaN so the failure poisons downstream numbers visibly instead
+// of ranking as a free model.
 func Latency(m *graph.Model, dev *Device) float64 {
-	t, _ := ModelLatency(m, dev)
+	t, _, err := ModelLatency(m, dev)
+	if err != nil {
+		return math.NaN()
+	}
 	return t
 }
 

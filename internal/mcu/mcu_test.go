@@ -102,7 +102,10 @@ func TestDivisibleBy4FastPath(t *testing.T) {
 
 func TestDepthwiseSlowerPerOp(t *testing.T) {
 	m := model(t, "MicroNet-KWS-M", 4)
-	_, layers := ModelLatency(m, F767ZI)
+	_, layers, err := ModelLatency(m, F767ZI)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var convTp, dwTp []float64
 	for i, op := range m.Ops {
 		if layers[i].Seconds <= 0 || op.MACs(m) == 0 {

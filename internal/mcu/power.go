@@ -71,7 +71,10 @@ type TracePoint struct {
 // NaN-propagated into every sample.
 func CurrentTrace(m *graph.Model, dev *Device, periodS, dtS, durationS float64, rng *rand.Rand) []TracePoint {
 	lat := Latency(m, dev)
-	if lat == 0 || dtS <= 0 || periodS <= 0 {
+	// NaN is Latency's unscoreable-model sentinel: without this guard,
+	// `phase < NaN` is always false and the trace would silently read as
+	// a believable all-sleep measurement.
+	if lat == 0 || math.IsNaN(lat) || dtS <= 0 || periodS <= 0 {
 		return nil
 	}
 	activeMA := ActivePowerMW(m, dev) / dev.SupplyVoltage

@@ -32,10 +32,25 @@ type TrialRecord struct {
 	Metrics    Metrics    `json:"metrics"`
 	Feasible   bool       `json:"feasible"`
 	Violations []string   `json:"violations,omitempty"`
-	// Err records candidates that failed to lower/plan (kept in the log so
-	// a resume does not retry them forever).
+	// Stage is "" for proxy evaluations (the schema before two-stage
+	// search, so proxy-only logs resume unchanged) and StageFinalist for
+	// re-appended records carrying a stage-two trained accuracy in
+	// Metrics.TrainedAccuracy. A finalist line always follows its trial's
+	// proxy line in a well-formed log; loaders that predate the field
+	// simply skip it as a duplicate trial index.
+	Stage string `json:"stage,omitempty"`
+	// TrainSteps is the stage-two training budget behind
+	// Metrics.TrainedAccuracy (finalist records only): a resume reuses a
+	// trained result only when produced under its own -train-steps.
+	TrainSteps int `json:"train_steps,omitempty"`
+	// Err records candidates that failed to lower/plan/train (kept in the
+	// log so a resume does not retry them forever).
 	Err string `json:"err,omitempty"`
 }
+
+// StageFinalist marks a JSONL record re-appended by the accuracy-in-the-
+// loop second stage.
+const StageFinalist = "finalist"
 
 // trialLog serializes JSONL appends from concurrent workers and flushes
 // per line, so a killed run loses at most the line being written.

@@ -24,6 +24,12 @@ type Metrics struct {
 	// AccuracyProxy is the capacity-based stand-in for trained accuracy
 	// (see accuracyProxy); higher is better.
 	AccuracyProxy float64 `json:"accuracy_proxy"`
+	// TrainedAccuracy is the task metric measured by a real short training
+	// run during the finalist re-rank (percent: top-1 accuracy for
+	// KWS/VWW, AUC for AD). Zero until stage two trains the candidate —
+	// the proxy-only JSONL schema from before two-stage search omits the
+	// field entirely.
+	TrainedAccuracy float64 `json:"trained_accuracy,omitempty"`
 	// LatencyS is modeled end-to-end inference latency on the device.
 	LatencyS float64 `json:"latency_s"`
 	// EnergyMJ is energy per inference in millijoules.
@@ -78,6 +84,13 @@ func (b Budgets) Check(m Metrics) []string {
 // greedy-planner arena (plus persistent buffers and runtime overheads),
 // not the max-working-set element proxy.
 func Evaluate(spec *arch.Spec, dev *mcu.Device) (Metrics, error) {
+	// The proxy runs first: a spec that fails Analyze must fail the trial
+	// (and be recorded as failed in the JSONL log), never score 0 and get
+	// logged as a legitimate — terrible — candidate.
+	proxy, err := accuracyProxy(spec)
+	if err != nil {
+		return Metrics{}, err
+	}
 	m, err := graph.FromSpec(spec, rand.New(rand.NewSource(evalSeed)), graph.LowerOptions{})
 	if err != nil {
 		return Metrics{}, err
@@ -86,9 +99,14 @@ func Evaluate(spec *arch.Spec, dev *mcu.Device) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	lat, _ := mcu.ModelLatency(m, dev)
+	// A latency-model failure fails the trial: the old `lat, _ :=` scored
+	// the candidate 0 s, which Pareto-dominated every real candidate.
+	lat, _, err := mcu.ModelLatency(m, dev)
+	if err != nil {
+		return Metrics{}, err
+	}
 	return Metrics{
-		AccuracyProxy:   accuracyProxy(spec),
+		AccuracyProxy:   proxy,
 		LatencyS:        lat,
 		EnergyMJ:        mcu.EnergyPerInferenceMJ(m, dev),
 		ArenaBytes:      report.ArenaBytes,
@@ -110,16 +128,19 @@ var taskCeiling = map[string]float64{"kws": 97.0, "ad": 98.0, "vww": 90.0}
 // capacity — so the Pareto frontier it induces rewards architectures that
 // buy capacity with the least latency/SRAM/flash, which is the shape of
 // the real trade-off even though absolute values await
-// accuracy-in-the-loop training (a ROADMAP open item).
-func accuracyProxy(spec *arch.Spec) float64 {
+// accuracy-in-the-loop training (the finalist re-rank, see Trainer). A
+// broken spec is an error, not a 0 score: Evaluate surfaces it so the
+// trial is recorded as failed in the JSONL log instead of silently
+// scored.
+func accuracyProxy(spec *arch.Spec) (float64, error) {
 	a, err := spec.Analyze()
 	if err != nil {
-		return 0
+		return 0, fmt.Errorf("accuracy proxy: %w", err)
 	}
 	ceiling, ok := taskCeiling[spec.Task]
 	if !ok {
 		ceiling = 95
 	}
 	capacity := 0.7*math.Log1p(float64(a.TotalMACs)) + 0.3*math.Log1p(float64(a.TotalParams))
-	return ceiling * (1 - math.Exp(-capacity/3.9))
+	return ceiling * (1 - math.Exp(-capacity/3.9)), nil
 }

@@ -30,9 +30,13 @@ func ExportFrontier(points []Point, prefix, generatedBy string) (*zoo.SpecFile, 
 		spec.Blocks = append([]arch.Block(nil), p.Record.Spec.Blocks...)
 		spec.Name = ExportName(prefix, p)
 		spec.Source = "search"
+		trained := ""
+		if p.Metrics.TrainedAccuracy > 0 {
+			trained = fmt.Sprintf(", trained %.2f%%", p.Metrics.TrainedAccuracy)
+		}
 		note := fmt.Sprintf(
-			"Pareto frontier point (source %s): acc-proxy %.2f%%, latency %.1f ms, SRAM %.1f KB, flash %.1f KB, %.1f MOps",
-			p.Source, p.Metrics.AccuracyProxy, p.Metrics.LatencyS*1e3,
+			"Pareto frontier point (source %s): acc-proxy %.2f%%%s, latency %.1f ms, SRAM %.1f KB, flash %.1f KB, %.1f MOps",
+			p.Source, p.Metrics.AccuracyProxy, trained, p.Metrics.LatencyS*1e3,
 			float64(p.Metrics.TotalSRAMBytes)/1024, float64(p.Metrics.TotalFlashBytes)/1024,
 			float64(p.Metrics.Ops)/1e6)
 		if err := zoo.Register(&zoo.Entry{Name: spec.Name, Task: spec.Task, Spec: &spec, Notes: note}); err != nil {

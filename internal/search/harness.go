@@ -9,9 +9,17 @@
 // DNAS-warm-started seed from the differentiable search in internal/core.
 // Every evaluated trial is checkpointed as one JSONL line, so a killed
 // run resumes where it stopped, and frontier winners export as named zoo
-// specs that cmd/serve can serve immediately. This closes the paper's
-// loop (§5): search under deployment constraints, measured on the target,
-// feeding the model zoo.
+// specs that cmd/serve can serve immediately.
+//
+// The search is two-stage: the capacity proxy ranks the broad sweep, and
+// then Config.Finalists frontier points are re-ranked by accuracy in the
+// loop — real short training runs (arch.Build → train.Fit on the task's
+// quick synthetic dataset, per-trial seeds, parallel workers) whose
+// measured TrainedAccuracy is recorded alongside the proxy, checkpointed
+// as StageFinalist JSONL lines, and used as the accuracy axis of the
+// frontier dominance ordering among finalists. This closes the paper's
+// loop (§5): search under deployment constraints, measured on the
+// target, trained for real, feeding the model zoo.
 package search
 
 import (
@@ -54,6 +62,17 @@ type Config struct {
 	// DNASSteps > 0 runs the differentiable search for that many steps to
 	// warm-start trial 0 (instead of a random sample).
 	DNASSteps int
+	// Finalists > 0 enables the accuracy-in-the-loop second stage: after
+	// the proxy-ranked sweep, that many frontier points — spread across
+	// the latency range so the whole frontier is represented — are
+	// re-ranked by real short training runs (arch.Build → train.Fit on
+	// the task's quick synthetic dataset) and their TrainedAccuracy is
+	// recorded alongside the proxy.
+	Finalists int
+	// TrainSteps is the per-finalist training budget (required when
+	// Finalists > 0). A resumed run only reuses logged trained results
+	// produced under the same budget.
+	TrainSteps int
 	// CheckpointPath is the JSONL trial log; if it exists, recorded
 	// trials are resumed instead of re-evaluated. Empty disables
 	// checkpointing (and resume).
@@ -74,6 +93,14 @@ type Result struct {
 	// Evaluated counts trials newly evaluated by this run; Resumed counts
 	// records replayed from the checkpoint.
 	Evaluated, Resumed int
+	// Finalists is the stage-two re-rank: the finalist points that carry
+	// a trained accuracy, best trained accuracy first. Empty when the run
+	// was proxy-only (Config.Finalists == 0).
+	Finalists []Point
+	// Trained counts finalists newly trained by this run; finalists whose
+	// trained result was resumed from the checkpoint are not re-trained
+	// and not counted.
+	Trained int
 }
 
 func (c *Config) logf(format string, args ...any) {
@@ -90,6 +117,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.Device == nil {
 		return nil, fmt.Errorf("search: Device is required")
+	}
+	if cfg.Finalists > 0 && cfg.TrainSteps <= 0 {
+		return nil, fmt.Errorf("search: Finalists %d needs TrainSteps > 0", cfg.Finalists)
 	}
 	space, err := SpaceForTask(cfg.Task)
 	if err != nil {
@@ -118,6 +148,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	frontier := &Frontier{}
 	done := make(map[int]bool)
 	var resumed []TrialRecord
+	// trainedResume maps trial index to a resumed stage-two record (which
+	// may carry Err: a finalist whose training failed is not retried
+	// forever, mirroring how failed proxy trials resume).
+	trainedResume := map[int]TrialRecord{}
 	if cfg.CheckpointPath != "" {
 		recs, err := LoadTrialLog(cfg.CheckpointPath)
 		if err != nil {
@@ -125,13 +159,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		for i := range recs {
 			rec := recs[i]
-			if rec.Trial < 0 || rec.Trial >= cfg.Trials || done[rec.Trial] {
+			if rec.Trial < 0 || rec.Trial >= cfg.Trials {
 				continue // stale log from a different -trials run; re-evaluate
 			}
 			if rec.Task != cfg.Task || rec.Device != cfg.Device.Name || rec.Seed != cfg.Seed {
 				// Logged for another task/device (metrics don't transfer) or
 				// another seed (a different -seed asks for a fresh search,
 				// not a replay of the old one).
+				continue
+			}
+			if rec.Stage == StageFinalist {
+				// Stage-two records never replace the proxy trial line; they
+				// are only reused when this run trains with the same budget.
+				if _, have := trainedResume[rec.Trial]; !have &&
+					cfg.Finalists > 0 && rec.TrainSteps == cfg.TrainSteps {
+					trainedResume[rec.Trial] = rec
+				}
+				continue
+			}
+			if done[rec.Trial] {
 				continue
 			}
 			// Budgets may be tighter (or looser) than the run that wrote
@@ -235,17 +281,171 @@ dispatch:
 	// slices so Record pointers are stable.
 	all := append(append([]TrialRecord(nil), resumed...), newRecs...)
 	sortRecords(all)
-	final := &Frontier{}
-	for i := range all {
-		if all[i].Feasible && all[i].Spec != nil {
-			final.Add(Point{Trial: all[i].Trial, Source: all[i].Source, Metrics: all[i].Metrics, Record: &all[i]})
+	rebuild := func() *Frontier {
+		f := &Frontier{}
+		for i := range all {
+			if all[i].Feasible && all[i].Spec != nil {
+				f.Add(Point{Trial: all[i].Trial, Source: all[i].Source, Metrics: all[i].Metrics, Record: &all[i]})
+			}
 		}
+		return f
 	}
-	cfg.logf("search done: %d trials (%d resumed), frontier %d", len(all), len(resumed), final.Size())
-	return &Result{
+	final := rebuild()
+	res := &Result{
 		Frontier: final, Task: cfg.Task, Device: cfg.Device,
 		Trials: all, Evaluated: evaluated, Resumed: len(resumed),
-	}, ctx.Err()
+	}
+
+	// Stage two: accuracy-in-the-loop re-rank of the frontier finalists.
+	// Selection uses the proxy-only frontier (identical whether or not a
+	// previous run already trained some finalists), so an interrupted run
+	// resumes onto the same finalist set; trained metrics are applied
+	// afterwards and the frontier is rebuilt under the finalist dominance
+	// ordering.
+	if cfg.Finalists > 0 && final.Size() > 0 && ctx.Err() == nil {
+		if err := cfg.runFinalists(ctx, res, log, trainedResume); err != nil {
+			return nil, err
+		}
+		final = rebuild()
+		final.PruneTrainedDominated()
+		res.Frontier = final
+	}
+	cfg.logf("search done: %d trials (%d resumed), frontier %d, %d finalists trained",
+		len(all), len(resumed), final.Size(), len(res.Finalists))
+	return res, ctx.Err()
+}
+
+// finalistSeed derives the stage-two training seed for a trial: a pure
+// function of (Seed, trial) — so re-ranks reproduce exactly — but offset
+// from runTrial's candidate-generation stream so training randomness never
+// correlates with the candidate the trial generated.
+func finalistSeed(seed int64, trial int) int64 {
+	return seed*1_000_003 + int64(trial) + 977_953_111
+}
+
+// runFinalists trains the selected finalists in parallel (per-trial
+// seeds), appends one StageFinalist JSONL record per newly-trained
+// finalist, and writes trained accuracies into res.Trials' metrics.
+func (c *Config) runFinalists(ctx context.Context, res *Result, log *trialLog, trainedResume map[int]TrialRecord) error {
+	finalists := SpreadPoints(res.Frontier.Points(), c.Finalists)
+	trainer, err := NewTrainer(c.Task, c.Seed)
+	if err != nil {
+		return err
+	}
+	byTrial := map[int]*TrialRecord{}
+	for i := range res.Trials {
+		byTrial[res.Trials[i].Trial] = &res.Trials[i]
+	}
+	var (
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		logErr  error
+		trialCh = make(chan int)
+		// trainedOK marks finalists whose training completed (this run or
+		// resumed) — the finalist-record line with an empty Err is the
+		// marker, not the accuracy value, so an honest 0% score still
+		// counts as trained and is never silently dropped or retrained.
+		trainedOK = map[int]bool{}
+	)
+	workers := c.Workers
+	if workers > len(finalists) {
+		workers = len(finalists)
+	}
+	c.logf("stage two: training %d finalists for %d steps each (%d workers)",
+		len(finalists), c.TrainSteps, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range trialCh {
+				rec := byTrial[trial]
+				acc, terr := trainer.Train(rec.Spec, c.TrainSteps, finalistSeed(c.Seed, trial))
+				frec := *rec
+				frec.Stage = StageFinalist
+				frec.TrainSteps = c.TrainSteps
+				if terr != nil {
+					frec.Err = terr.Error()
+					c.logf("finalist trial-%03d failed to train: %v", trial, terr)
+				} else {
+					frec.Metrics.TrainedAccuracy = acc
+					c.logf("finalist trial-%03d: trained %.1f%% (proxy %.1f%%)",
+						trial, acc, rec.Metrics.AccuracyProxy)
+				}
+				if log != nil {
+					if err := log.append(&frec); err != nil {
+						mu.Lock()
+						if logErr == nil {
+							logErr = err
+						}
+						mu.Unlock()
+					}
+				}
+				if terr == nil {
+					mu.Lock()
+					rec.Metrics.TrainedAccuracy = acc
+					trainedOK[trial] = true
+					res.Trained++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+dispatch:
+	for _, p := range finalists {
+		rec := byTrial[p.Trial]
+		if rec == nil || rec.Spec == nil {
+			continue
+		}
+		if cached, ok := trainedResume[p.Trial]; ok {
+			// Already trained (or failed) under this budget in a previous
+			// run; reuse instead of paying for the training again. An empty
+			// Err marks a completed training whatever the score was. (The
+			// lock: workers for already-dispatched trials are concurrently
+			// writing trainedOK.)
+			if cached.Err == "" {
+				mu.Lock()
+				rec.Metrics.TrainedAccuracy = cached.Metrics.TrainedAccuracy
+				trainedOK[p.Trial] = true
+				mu.Unlock()
+			}
+			continue
+		}
+		select {
+		case trialCh <- p.Trial:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(trialCh)
+	wg.Wait()
+	if logErr != nil {
+		return fmt.Errorf("search: checkpoint write: %w", logErr)
+	}
+	for _, p := range finalists {
+		rec := byTrial[p.Trial]
+		if rec != nil && trainedOK[p.Trial] {
+			res.Finalists = append(res.Finalists, Point{
+				Trial: rec.Trial, Source: rec.Source, Metrics: rec.Metrics, Record: rec,
+			})
+		}
+	}
+	sortFinalists(res.Finalists)
+	return nil
+}
+
+// sortFinalists orders the stage-two result best-first: trained accuracy
+// down, then latency up, then trial index for stability.
+func sortFinalists(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i].Metrics, pts[j].Metrics
+		if a.TrainedAccuracy != b.TrainedAccuracy {
+			return a.TrainedAccuracy > b.TrainedAccuracy
+		}
+		if a.LatencyS != b.LatencyS {
+			return a.LatencyS < b.LatencyS
+		}
+		return pts[i].Trial < pts[j].Trial
+	})
 }
 
 // runTrial generates and evaluates one candidate. Generation is seeded by

@@ -16,15 +16,35 @@ type Point struct {
 
 // dominates reports whether a is at least as good as b on every objective
 // — accuracy proxy up; latency, SRAM and flash down — and strictly better
-// on at least one. Energy is deliberately not a fourth independent axis:
-// power is model-independent (§3.4), so energy ranks identically to
-// latency on a fixed device.
+// on at least one. The proxy is always the accuracy axis here, even for
+// trained finalists: using the trained value only when both points carry
+// one would make the relation non-transitive (proxy beats trained beats
+// proxy), so frontier membership would depend on insertion order. The
+// trained ordering is instead applied as a separate, transitive prune
+// among finalists (PruneTrainedDominated). Energy is deliberately not a
+// fourth independent axis: power is model-independent (§3.4), so energy
+// ranks identically to latency on a fixed device.
 func dominates(a, b Metrics) bool {
 	if a.AccuracyProxy < b.AccuracyProxy || a.LatencyS > b.LatencyS ||
 		a.TotalSRAMBytes > b.TotalSRAMBytes || a.TotalFlashBytes > b.TotalFlashBytes {
 		return false
 	}
 	return a.AccuracyProxy > b.AccuracyProxy || a.LatencyS < b.LatencyS ||
+		a.TotalSRAMBytes < b.TotalSRAMBytes || a.TotalFlashBytes < b.TotalFlashBytes
+}
+
+// trainedDominates is the finalist dominance ordering: like dominates but
+// with the measured trained accuracy as the accuracy axis. Only defined
+// between two points that both carry a trained accuracy — trained and
+// proxy values live on different scales (a short real training run lands
+// well below the proxy's Table-4-anchored ceiling), so they are never
+// compared against each other.
+func trainedDominates(a, b Metrics) bool {
+	if a.TrainedAccuracy < b.TrainedAccuracy || a.LatencyS > b.LatencyS ||
+		a.TotalSRAMBytes > b.TotalSRAMBytes || a.TotalFlashBytes > b.TotalFlashBytes {
+		return false
+	}
+	return a.TrainedAccuracy > b.TrainedAccuracy || a.LatencyS < b.LatencyS ||
 		a.TotalSRAMBytes < b.TotalSRAMBytes || a.TotalFlashBytes < b.TotalFlashBytes
 }
 
@@ -77,6 +97,54 @@ func (f *Frontier) Size() int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return len(f.pts)
+}
+
+// PruneTrainedDominated applies the finalist dominance ordering on top of
+// the proxy frontier: a member whose trained accuracy is dominated by
+// another trained member (trainedDominates) is evicted. Run after stage
+// two has written trained accuracies. Because it only ever removes
+// points, and trainedDominates restricted to trained pairs is a strict
+// partial order, the result is independent of insertion order — unlike
+// folding the trained axis into Add's dominance test.
+func (f *Frontier) PruneTrainedDominated() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pts := append([]Point(nil), f.pts...)
+	kept := f.pts[:0]
+	for _, p := range pts {
+		dominated := false
+		if p.Metrics.TrainedAccuracy > 0 {
+			for _, q := range pts {
+				if q.Metrics.TrainedAccuracy > 0 && trainedDominates(q.Metrics, p.Metrics) {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			kept = append(kept, p)
+		}
+	}
+	f.pts = kept
+}
+
+// SpreadPoints picks at most k points spread evenly across a
+// latency-sorted point slice (as returned by Frontier.Points), always
+// including both endpoints, so a bounded selection covers the whole
+// latency range of the frontier instead of clustering at the fast end.
+// It is the shared selector behind finalist choice and -export-top.
+func SpreadPoints(pts []Point, k int) []Point {
+	if k <= 0 || k >= len(pts) {
+		return append([]Point(nil), pts...)
+	}
+	picked := make([]Point, 0, k)
+	if k == 1 {
+		return append(picked, pts[0])
+	}
+	for i := 0; i < k; i++ {
+		picked = append(picked, pts[i*(len(pts)-1)/(k-1)])
+	}
+	return picked
 }
 
 // Pick selects the member at pick mod size — the caller pre-draws pick

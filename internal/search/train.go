@@ -1,0 +1,72 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+
+	"micronets/internal/arch"
+	"micronets/internal/datasets"
+	"micronets/internal/train"
+)
+
+// Trainer is the accuracy-in-the-loop half of the two-stage search: it
+// holds the task's deterministic small-budget datasets, built once per
+// run, and trains finalist specs for real — arch.Build into an
+// nn.Sequential, train.Fit under the task's quick recipe — so the
+// frontier's top candidates are re-ranked by measured task accuracy
+// instead of the capacity proxy. Every finalist of one run competes on
+// identical data (datasets are keyed by the run seed); only model
+// initialization and batch order vary with the per-trial seed.
+type Trainer struct {
+	task    string
+	trainDS *datasets.Dataset
+	// evalDS is the held-out split scored by train.Accuracy (KWS/VWW).
+	evalDS *datasets.Dataset
+	// adTest is the mixed normal/anomalous test set scored by the §4.3
+	// EvalAUC protocol (AD).
+	adTest []datasets.ADSample
+}
+
+// NewTrainer builds the quick datasets for a task. The split rng is
+// seeded by the run seed, so a resumed run evaluates finalists on exactly
+// the data the interrupted run used.
+func NewTrainer(task string, seed int64) (*Trainer, error) {
+	t := &Trainer{task: task}
+	switch task {
+	case "kws":
+		t.trainDS, t.evalDS = datasets.QuickKWS(seed).Split(rand.New(rand.NewSource(seed)), 0.25)
+	case "vww":
+		t.trainDS, t.evalDS = datasets.QuickVWW(seed).Split(rand.New(rand.NewSource(seed)), 0.25)
+	case "ad":
+		ad := datasets.QuickAD(seed)
+		t.trainDS = ad.ClassifierDataset()
+		t.adTest = ad.Test
+	default:
+		return nil, fmt.Errorf("search: no finalist trainer for task %q (have kws, vww, ad)", task)
+	}
+	return t, nil
+}
+
+// Train builds the spec into a trainable model, runs the task's quick
+// recipe for steps, and returns the task metric in percent — top-1
+// accuracy on the held-out split for KWS/VWW, AUC on the anomaly test
+// set for AD. This is the TrainedAccuracy recorded alongside the proxy.
+// Safe for concurrent use: the shared datasets are only read, and all
+// randomness flows from the caller's seed.
+func (t *Trainer) Train(spec *arch.Spec, steps int, seed int64) (float64, error) {
+	cfg, err := train.QuickConfig(t.task, steps, seed)
+	if err != nil {
+		return 0, err
+	}
+	model, err := arch.Build(rand.New(rand.NewSource(seed)), spec, arch.BuildOptions{})
+	if err != nil {
+		return 0, fmt.Errorf("search: build finalist %s: %w", spec.Name, err)
+	}
+	if _, err := train.Fit(model, t.trainDS, cfg); err != nil {
+		return 0, fmt.Errorf("search: train finalist %s: %w", spec.Name, err)
+	}
+	if t.task == "ad" {
+		return 100 * train.EvalAUC(model, t.adTest), nil
+	}
+	return 100 * train.Accuracy(model, t.evalDS), nil
+}

@@ -38,6 +38,37 @@ type Config struct {
 	Log         func(string)
 }
 
+// QuickConfig returns the deterministic small-budget training recipe for
+// a task, used by the NAS finalist re-rank (accuracy-in-the-loop search):
+// each recipe is the paper's task recipe with the step budget as the only
+// free knob, keyed by the caller's per-trial seed so re-running a trial
+// reproduces its trained accuracy exactly.
+func QuickConfig(task string, steps int, seed int64) (Config, error) {
+	if steps <= 0 {
+		return Config{}, fmt.Errorf("train: quick recipe needs steps > 0, got %d", steps)
+	}
+	cfg := Config{Steps: steps, BatchSize: 16, Seed: seed}
+	switch task {
+	case "kws":
+		// §5.2.2: SpecAugment, search-phase weight decay.
+		cfg.LR = nn.CosineSchedule{Start: 0.08, End: 0.008, Steps: steps}
+		cfg.WeightDecay = 0.001
+		cfg.SpecAugment = true
+	case "vww":
+		// §5.2.1 minus distillation (no teacher inside a search trial).
+		cfg.LR = nn.CosineSchedule{Start: 0.05, End: 0.005, Steps: steps}
+		cfg.WeightDecay = 0.001
+	case "ad":
+		// §5.2.3: mixup with alpha 0.3.
+		cfg.LR = nn.CosineSchedule{Start: 0.05, End: 0.005, Steps: steps}
+		cfg.WeightDecay = 0.001
+		cfg.MixupAlpha = 0.3
+	default:
+		return Config{}, fmt.Errorf("train: no quick recipe for task %q (have kws, vww, ad)", task)
+	}
+	return cfg, nil
+}
+
 // Fit trains a model on the dataset and returns the final training loss.
 func Fit(model *nn.Sequential, ds *datasets.Dataset, cfg Config) (float32, error) {
 	if cfg.Steps <= 0 || cfg.BatchSize <= 0 {

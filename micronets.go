@@ -113,7 +113,10 @@ func DeployModel(spec *arch.Spec, m *graph.Model, dev *mcu.Device) (*Deployment,
 	if err != nil {
 		return nil, err
 	}
-	lat, layers := mcu.ModelLatency(m, dev)
+	lat, layers, err := mcu.ModelLatency(m, dev)
+	if err != nil {
+		return nil, err
+	}
 	d := &Deployment{
 		Spec: spec, Model: m, Device: dev, Report: report,
 		LatencySeconds: lat,

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# search_smoke.sh — run the two-stage NAS search end to end (64 proxy
+# trials, then 2 frontier finalists re-ranked by 30-step real training
+# runs) and prove the trained re-rank landed: the JSONL log must carry
+# finalist records whose trained accuracy is non-zero and distinct from
+# the capacity proxy, and BENCH_search.json must carry the
+# proxy-vs-trained columns. Used by `make search-smoke` and by
+# serve_smoke.sh (so the CI serve-smoke job exercises the same path on
+# every push — keep the flags here in sync with nothing else).
+#
+# Usage: search_smoke.sh [workdir]  (defaults to a fresh mktemp dir)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="${1:-$(mktemp -d)}"
+
+# --- NAS search: 64 hardware-in-the-loop trials, then the accuracy-in-
+# the-loop finalist stage; JSONL log + exported frontier.
+go run ./cmd/search -trials 64 -seed 42 -finalists 2 -train-steps 30 \
+    -log "$WORK/search_trials.jsonl" -export "$WORK/frontier.json" -export-top 3
+test -s "$WORK/search_trials.jsonl"
+head -1 "$WORK/search_trials.jsonl" | jq -e 'has("trial") and has("metrics")' >/dev/null
+jq -e '.specs | length >= 1' "$WORK/frontier.json" >/dev/null
+
+# The trained re-rank must be durable and honest: finalist records carry a
+# non-zero trained accuracy distinct from the proxy (a trial whose
+# training failed carries err instead, and never a trained score).
+FINALISTS=$(jq -s '[.[] | select(.stage == "finalist" and .err == null)] | length' "$WORK/search_trials.jsonl")
+test "$FINALISTS" -ge 1
+jq -s -e '[.[] | select(.stage == "finalist" and .err == null)]
+    | all(.metrics.trained_accuracy > 0 and .metrics.trained_accuracy != .metrics.accuracy_proxy)' \
+    "$WORK/search_trials.jsonl" >/dev/null
+echo "search OK: $FINALISTS finalists trained (log $WORK/search_trials.jsonl)"
+
+# Machine-readable frontier for the cross-PR perf trajectory — resumes
+# the trial log the search above just wrote (same seed/device/budget)
+# instead of re-evaluating or re-training.
+go run ./cmd/bench -exp search -json -finalists 2 -train-steps 30 \
+    -search-log "$WORK/search_trials.jsonl" >/dev/null
+jq -e '.frontier | length >= 1' BENCH_search.json >/dev/null
+jq -e '.finalists | length >= 1' BENCH_search.json >/dev/null
+jq -e '[.finalists[] | select(.trained_accuracy > 0 and .trained_accuracy != .accuracy_proxy)] | length >= 1' \
+    BENCH_search.json >/dev/null
+echo "bench search OK: $(jq '.frontier | length' BENCH_search.json) frontier points, $(jq '.finalists | length' BENCH_search.json) trained finalists in BENCH_search.json"

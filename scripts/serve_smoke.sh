@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — build cmd/serve, boot it in the background, and prove
 # one real /v2 round-trip: readiness, model metadata, and an infer POST
-# whose response carries an argmax class. Also runs the NAS harness first
-# (cmd/search -trials 64) and proves that an exported frontier model is
-# servable through the same /v2 protocol. Used by `make serve-smoke` and
-# the CI serve-smoke job (keep the two in sync by editing only this file).
+# whose response carries an argmax class. Also runs the two-stage NAS
+# harness first (search_smoke.sh: 64 proxy trials + trained finalist
+# re-rank) and proves that an exported frontier model is servable through
+# the same /v2 protocol. Used by `make serve-smoke` and the CI
+# serve-smoke job (keep the two in sync by editing only this file).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,20 +14,12 @@ WORK="$(mktemp -d)"
 BIN="$WORK/micronets-serve"
 MODEL="MicroNet-KWS-S"
 
-# --- NAS search: 64 hardware-in-the-loop trials, JSONL log + exported frontier.
-go run ./cmd/search -trials 64 -seed 42 \
-    -log "$WORK/search_trials.jsonl" -export "$WORK/frontier.json" -export-top 3
-test -s "$WORK/search_trials.jsonl"
-head -1 "$WORK/search_trials.jsonl" | jq -e 'has("trial") and has("metrics")' >/dev/null
-jq -e '.specs | length >= 1' "$WORK/frontier.json" >/dev/null
+# --- Two-stage NAS search (64 proxy trials + trained finalist re-rank)
+# and its BENCH_search.json assertions live in search_smoke.sh so `make
+# search-smoke` and this script can't drift.
+./scripts/search_smoke.sh "$WORK"
 NAS_MODEL=$(jq -r '.specs[0].Name' "$WORK/frontier.json")
 echo "search OK: exported frontier model $NAS_MODEL"
-
-# Machine-readable frontier for the cross-PR perf trajectory — resumes
-# the trial log the search above just wrote instead of re-evaluating.
-go run ./cmd/bench -exp search -json -search-log "$WORK/search_trials.jsonl" >/dev/null
-jq -e '.frontier | length >= 1' BENCH_search.json >/dev/null
-echo "bench search OK: $(jq '.frontier | length' BENCH_search.json) frontier points in BENCH_search.json"
 
 go build -o "$BIN" ./cmd/serve
 
