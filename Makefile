@@ -31,9 +31,11 @@ lint:
 serve:
 	$(GO) run ./cmd/serve
 
-# serve-smoke runs the NAS search, boots cmd/serve and proves a live /v2
-# round-trip (including an exported frontier model) — the same script the
-# CI serve-smoke job runs.
+# serve-smoke runs the NAS search, boots cmd/serve under a RAM budget and
+# proves a live /v2 round-trip plus the repository control plane: the
+# exported frontier model is hot-loaded with zero restarts, an
+# over-budget load 409s, an unload drains — the same script the CI
+# serve-smoke job runs.
 .PHONY: serve-smoke
 serve-smoke:
 	./scripts/serve_smoke.sh

@@ -9,13 +9,15 @@
 // measured accuracy replaces the proxy in the finalist ordering. Every
 // trial — and every finalist training — is checkpointed to a JSONL log
 // for resume; frontier winners are exported as a spec file cmd/serve can
-// load with -specs.
+// load with -specs, or published straight into a RUNNING server's
+// /v2/repository control plane with -publish (zero restarts).
 //
 // Usage:
 //
 //	search -task kws -device S -trials 64 -finalists 3 -train-steps 60
 //	search -task ad -device L -trials 256 -log trials.jsonl -export frontier.json
 //	search -task kws -device S -trials 64 -log trials.jsonl   # re-run resumes
+//	search -trials 128 -publish http://localhost:8151         # hot-deploy the frontier
 package main
 
 import (
@@ -50,6 +52,7 @@ func main() {
 	logPath := flag.String("log", "search_trials.jsonl", "JSONL trial log (checkpoint/resume); empty disables")
 	exportPath := flag.String("export", "search_frontier.json", "spec file for the exported frontier; empty disables")
 	exportTop := flag.Int("export-top", 0, "export at most N frontier models, spread across the latency range (0 = all)")
+	publish := flag.String("publish", "", "base URL of a running serve instance (e.g. http://localhost:8151) to hot-load the exported frontier into, no restart")
 	mutateFrac := flag.Float64("mutate-frac", 0.5, "fraction of trials mutating a frontier member (0 disables mutation)")
 	flag.Parse()
 
@@ -122,7 +125,7 @@ func main() {
 		log.Fatal("no feasible candidates; loosen the budgets or raise -trials")
 	}
 
-	if *exportPath != "" {
+	if *exportPath != "" || *publish != "" {
 		// Points are latency-sorted; an even spread covers the whole
 		// frontier, not just its fast end.
 		exported := search.SpreadPoints(pts, *exportTop)
@@ -131,10 +134,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := search.WriteSpecFile(*exportPath, file); err != nil {
-			log.Fatal(err)
+		if *exportPath != "" {
+			if err := search.WriteSpecFile(*exportPath, file); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nexported %d frontier models to %s (serve with: serve -specs %s -models %s)\n",
+				len(names), *exportPath, *exportPath, strings.Join(names, ","))
 		}
-		fmt.Printf("\nexported %d frontier models to %s (serve with: serve -specs %s -models %s)\n",
-			len(names), *exportPath, *exportPath, strings.Join(names, ","))
+		if *publish != "" {
+			// Hot-load the frontier into the running server through its
+			// /v2/repository admin API — the zero-restart serving path.
+			loaded, err := search.PublishFrontier(ctx, *publish, file)
+			if err != nil {
+				if len(loaded) > 0 {
+					log.Printf("partially published %d models (%s) before failing", len(loaded), strings.Join(loaded, ","))
+				}
+				log.Fatal(err)
+			}
+			fmt.Printf("published %d frontier models to %s with zero restarts: %s\n",
+				len(loaded), *publish, strings.Join(loaded, ","))
+		}
 	}
 }

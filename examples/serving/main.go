@@ -1,7 +1,8 @@
-// Serving example: boot the in-process inference server on a loopback
-// port, hit the KServe-v2 endpoints like an external client, and print
-// the classification — the smallest end-to-end tour of the
-// registry → pool → micro-batcher → engine path.
+// Serving example: boot the in-process inference server under a
+// device-class RAM budget, hit the KServe-v2 endpoints like an external
+// client, then drive the model-repository control plane — hot-load a
+// model with zero restarts, read the budget-planned capacity from the
+// index, and watch an over-budget load get a structured 409.
 package main
 
 import (
@@ -32,9 +33,14 @@ func main() {
 	go func() {
 		done <- micronets.Serve(ctx, micronets.ServeOptions{
 			Addr:   addr,
-			Models: []string{model, "DSCNN-S"},
-			Logger: logger,
-			Deploy: micronets.DeployOptions{Seed: 42, AppendSoftmax: true},
+			Models: []string{model},
+			// Emulate the large MCU: every load is planned against 512 KB
+			// of arena RAM, so pool sizes and batch bounds come from
+			// tflm.PlanMemoryBatch instead of fixed counts.
+			RAMBudgetBytes: 512 * 1024,
+			PoolSize:       2,
+			Logger:         logger,
+			Deploy:         micronets.DeployOptions{Seed: 42, AppendSoftmax: true},
 		})
 	}()
 
@@ -84,6 +90,40 @@ func main() {
 		}
 	}
 
+	// ---- the control plane: hot lifecycle management, no restarts ----
+
+	// DSCNN-S was not in the boot set; one admin POST makes it servable.
+	code, status := postJSON(base+"/v2/repository/models/DSCNN-S/load", nil)
+	fmt.Printf("hot-load DSCNN-S: HTTP %d, state %v, pool %v, max batch %v\n",
+		code, status["state"], status["pool_size"], status["max_batch"])
+
+	// The index shows every version with its budget-planned capacity.
+	var index struct {
+		Models []struct {
+			Name            string `json:"name"`
+			Version         int    `json:"version"`
+			State           string `json:"state"`
+			PoolSize        int    `json:"pool_size"`
+			MaxBatch        int    `json:"max_batch"`
+			PlannedRAMBytes int    `json:"planned_ram_bytes"`
+		} `json:"models"`
+		BudgetBytes  int `json:"ram_budget_bytes"`
+		PlannedBytes int `json:"ram_planned_bytes"`
+	}
+	getJSON(base+"/v2/repository/index", &index)
+	fmt.Printf("repository: %d/%d budget bytes planned\n", index.PlannedBytes, index.BudgetBytes)
+	for _, m := range index.Models {
+		fmt.Printf("  %-16s v%d %-7s pool=%d batch=%d ram=%dB\n",
+			m.Name, m.Version, m.State, m.PoolSize, m.MaxBatch, m.PlannedRAMBytes)
+	}
+
+	// MicroNet-AD-L needs a ~345 KB arena even at batch 1 — more than the
+	// budget has left. The repository answers with a structured 409
+	// instead of OOMing.
+	code, conflict := postJSON(base+"/v2/repository/models/MicroNet-AD-L/load", nil)
+	fmt.Printf("over-budget load: HTTP %d code=%v needed=%v budget=%v planned=%v\n",
+		code, conflict["code"], conflict["needed_bytes"], conflict["budget_bytes"], conflict["planned_bytes"])
+
 	cancel() // SIGTERM-equivalent: drain and exit
 	if err := <-done; err != nil {
 		log.Fatalf("drain: %v", err)
@@ -114,4 +154,17 @@ func getJSON(url string, v any) {
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func postJSON(url string, body []byte) (int, map[string]any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return resp.StatusCode, out
 }

@@ -92,3 +92,75 @@ func TestExportedFrontierModelServes(t *testing.T) {
 		t.Fatalf("no %d-way scores tensor in response: %+v", e.Spec.NumClasses, out.Outputs)
 	}
 }
+
+// TestPublishFrontierHotLoads closes the continuous search→serve loop: a
+// server boots with NO searched models, a finished search publishes its
+// frontier through the /v2/repository admin API (inline specs, no shared
+// filesystem), and the models serve infers — zero restarts.
+func TestPublishFrontierHotLoads(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Task: "kws", Device: mcu.F446RE, Trials: 8, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Frontier.Points()
+	if len(pts) == 0 {
+		t.Fatal("empty frontier")
+	}
+	file, names, err := ExportFrontier(SpreadPoints(pts, 2), "NAS-publish-kws-S", "publish_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range names {
+			zoo.Unregister(n)
+		}
+	})
+	// ExportFrontier registers the names into this process's zoo; drop
+	// them first so the server genuinely learns them from the publish.
+	for _, n := range names {
+		zoo.Unregister(n)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Models:   []string{"MicroNet-KWS-S"},
+		Options:  serve.ModelOptions{AppendSoftmax: true},
+		PoolSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	loaded, err := PublishFrontier(context.Background(), ts.URL, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(file.Specs) {
+		t.Fatalf("published %d of %d models", len(loaded), len(file.Specs))
+	}
+
+	for _, name := range loaded {
+		e, err := zoo.Get(name)
+		if err != nil {
+			t.Fatalf("published model %s not registered server-side: %v", name, err)
+		}
+		elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+		data := make([]string, elems)
+		for i := range data {
+			data[i] = "0.1"
+		}
+		body := fmt.Sprintf(`{"inputs":[{"name":"input","datatype":"FP32","data":[%s]}]}`, strings.Join(data, ","))
+		resp, err := ts.Client().Post(ts.URL+"/v2/models/"+name+"/infer", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("published model %s: infer status %d", name, resp.StatusCode)
+		}
+	}
+}

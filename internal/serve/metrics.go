@@ -10,64 +10,92 @@ import (
 // handleMetrics renders the serving counters in Prometheus text
 // exposition format, hand-rolled so the repo stays dependency-free. Gauge
 // vs counter and the _sum/_count latency pair follow the conventions a
-// real scraper expects.
+// real scraper expects. Repository state — versions, budget-planned pool
+// sizes, and arena reservations — is exported next to the request
+// counters so a scrape shows both the control plane and the data plane.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
+	actives := s.repo.actives()
 	fmt.Fprintf(&b, "# HELP micronets_serve_uptime_seconds Seconds since the server finished warm-up.\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_uptime_seconds gauge\n")
 	fmt.Fprintf(&b, "micronets_serve_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
-	fmt.Fprintf(&b, "# HELP micronets_serve_models_loaded Models preloaded into the registry.\n")
+	fmt.Fprintf(&b, "# HELP micronets_serve_models_loaded Models with a serving (READY) version.\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_models_loaded gauge\n")
-	fmt.Fprintf(&b, "micronets_serve_models_loaded %d\n", len(s.models))
+	fmt.Fprintf(&b, "micronets_serve_models_loaded %d\n", len(actives))
 	fmt.Fprintf(&b, "# HELP micronets_serve_lowerings_total Graph lowerings performed (cache misses).\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_lowerings_total counter\n")
-	fmt.Fprintf(&b, "micronets_serve_lowerings_total %d\n", s.reg.Lowerings())
+	fmt.Fprintf(&b, "micronets_serve_lowerings_total %d\n", s.repo.Lowerings())
+	fmt.Fprintf(&b, "# HELP micronets_serve_ram_budget_bytes Configured repository RAM budget (0 = unbudgeted).\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_ram_budget_bytes gauge\n")
+	fmt.Fprintf(&b, "micronets_serve_ram_budget_bytes %d\n", s.repo.RAMBudgetBytes())
+	fmt.Fprintf(&b, "# HELP micronets_serve_ram_planned_bytes Arena bytes reserved by live model versions.\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_ram_planned_bytes gauge\n")
+	fmt.Fprintf(&b, "micronets_serve_ram_planned_bytes %d\n", s.repo.PlannedRAMBytes())
 
-	counter := func(name, help string, val func(*servedModel) uint64) {
+	counter := func(name, help string, val func(*version) uint64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for _, e := range s.reg.Entries() {
-			m, ok := s.models[e.Name]
-			if !ok {
-				continue
-			}
-			fmt.Fprintf(&b, "%s{model=%q} %d\n", name, e.Name, val(m))
+		for _, v := range actives {
+			fmt.Fprintf(&b, "%s{model=%q} %d\n", name, v.name, val(v))
 		}
 	}
 	counter("micronets_serve_requests_total", "Inference requests completed (batched rows).",
-		func(m *servedModel) uint64 { return m.entry.Stats().Requests })
+		func(v *version) uint64 { return v.entry.Stats().Requests })
 	counter("micronets_serve_request_errors_total", "Requests that failed (bad input, cancelled, drained, invoke error).",
-		func(m *servedModel) uint64 { return m.entry.Stats().Errors })
+		func(v *version) uint64 { return v.entry.Stats().Errors })
 	counter("micronets_serve_batches_total", "InvokeBatch calls issued by the micro-batcher.",
-		func(m *servedModel) uint64 { return m.entry.Stats().Batches })
+		func(v *version) uint64 { return v.entry.Stats().Batches })
 	counter("micronets_serve_batch_size_sum", "Sum of coalesced batch sizes (divide by batches for the mean).",
-		func(m *servedModel) uint64 { return m.entry.Stats().BatchSizeSum })
+		func(v *version) uint64 { return v.entry.Stats().BatchSizeSum })
 	counter("micronets_serve_batch_size_max", "Largest batch coalesced so far.",
-		func(m *servedModel) uint64 { return m.entry.Stats().BatchSizeMax })
+		func(v *version) uint64 { return v.entry.Stats().BatchSizeMax })
 	counter("micronets_serve_request_latency_seconds_count", "Requests with measured queue+invoke latency.",
-		func(m *servedModel) uint64 { return m.entry.Stats().LatencyCount })
+		func(v *version) uint64 { return v.entry.Stats().LatencyCount })
 
 	fmt.Fprintf(&b, "# HELP micronets_serve_request_latency_seconds_sum Total queue+invoke latency.\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_request_latency_seconds_sum counter\n")
-	for _, e := range s.reg.Entries() {
-		if m, ok := s.models[e.Name]; ok {
-			fmt.Fprintf(&b, "micronets_serve_request_latency_seconds_sum{model=%q} %.6f\n",
-				e.Name, float64(m.entry.Stats().LatencyNsSum)/1e9)
+	for _, v := range actives {
+		fmt.Fprintf(&b, "micronets_serve_request_latency_seconds_sum{model=%q} %.6f\n",
+			v.name, float64(v.entry.Stats().LatencyNsSum)/1e9)
+	}
+
+	gauge := func(name, help string, val func(*version) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, v := range actives {
+			fmt.Fprintf(&b, "%s{model=%q} %d\n", name, v.name, val(v))
 		}
 	}
+	gauge("micronets_serve_model_version", "Serving version number of the model.",
+		func(v *version) int64 { return int64(v.num) })
+	gauge("micronets_serve_pool_size", "Budget-planned interpreter replicas of the serving version.",
+		func(v *version) int64 { return int64(v.poolSize) })
+	gauge("micronets_serve_max_batch", "Budget-planned micro-batch bound of the serving version.",
+		func(v *version) int64 { return int64(v.maxBatch) })
+	gauge("micronets_serve_planned_arena_bytes", "Arena bytes the serving version reserves against the RAM budget.",
+		func(v *version) int64 { return int64(v.plannedBytes) })
+	gauge("micronets_serve_arena_bytes", "Arena bytes per pooled interpreter (host allocation).",
+		func(v *version) int64 { return int64(v.entry.ArenaBytes) })
+
+	// model_versions counts live versions per name (READY + DRAINING +
+	// LOADING) — >1 flags an in-progress blue/green swap.
+	fmt.Fprintf(&b, "# HELP micronets_serve_model_versions Live versions of the model (>1 during a swap).\n")
+	fmt.Fprintf(&b, "# TYPE micronets_serve_model_versions gauge\n")
+	perName := map[string]int{}
+	var nameOrder []string
+	for _, st := range s.repo.Index() {
+		if perName[st.Name] == 0 {
+			nameOrder = append(nameOrder, st.Name)
+		}
+		perName[st.Name]++
+	}
+	for _, n := range nameOrder {
+		fmt.Fprintf(&b, "micronets_serve_model_versions{model=%q} %d\n", n, perName[n])
+	}
+
 	fmt.Fprintf(&b, "# HELP micronets_serve_batch_window_seconds Current adaptive micro-batch gather window.\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_batch_window_seconds gauge\n")
-	for _, e := range s.reg.Entries() {
-		if m, ok := s.models[e.Name]; ok {
-			fmt.Fprintf(&b, "micronets_serve_batch_window_seconds{model=%q} %.6f\n",
-				e.Name, m.batcher.Window().Seconds())
-		}
-	}
-	fmt.Fprintf(&b, "# HELP micronets_serve_arena_bytes Arena bytes per pooled interpreter.\n")
-	fmt.Fprintf(&b, "# TYPE micronets_serve_arena_bytes gauge\n")
-	for _, e := range s.reg.Entries() {
-		if m, ok := s.models[e.Name]; ok {
-			fmt.Fprintf(&b, "micronets_serve_arena_bytes{model=%q} %d\n", e.Name, m.entry.ArenaBytes)
-		}
+	for _, v := range actives {
+		fmt.Fprintf(&b, "micronets_serve_batch_window_seconds{model=%q} %.6f\n",
+			v.name, v.batcher.Window().Seconds())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))

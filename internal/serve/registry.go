@@ -218,7 +218,14 @@ func (r *Registry) lower(spec *arch.Spec, opts ModelOptions) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := NewPool(m, r.cfg.PoolSize, r.cfg.PoolMax)
+	return newEntry(spec, m, r.cfg.PoolSize, r.cfg.PoolMax)
+}
+
+// newEntry warms a pool for an already-lowered model — the shared entry
+// constructor of the Registry (fixed pool sizes) and the Repository
+// (budget-planned pool sizes).
+func newEntry(spec *arch.Spec, m *graph.Model, prewarm, max int) (*Entry, error) {
+	pool, err := NewPool(m, prewarm, max)
 	if err != nil {
 		return nil, err
 	}

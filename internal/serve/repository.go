@@ -1,0 +1,777 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micronets/internal/arch"
+	"micronets/internal/graph"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+// Repository is the serving control plane: it owns the lifecycle of every
+// served model as a sequence of versions, each one a fully warmed
+// entry (lowered graph + interpreter pool) plus its micro-batcher.
+//
+// Lifecycle semantics, in the KServe/Triton model-repository style:
+//
+//   - Load lowers a spec, plans its capacity against the RAM budget, warms
+//     a pool, and publishes the result as a new version of the name. If an
+//     older version was serving, the swap is blue/green: the new version
+//     must be READY before it becomes visible, and the old one keeps
+//     serving its in-flight requests while DRAINING, releasing its budget
+//     reservation only once they finish.
+//   - Loading the exact same spec fingerprint + options again is an
+//     idempotent no-op: the active version is returned unchanged.
+//   - Unload drains the active version and drops the name.
+//
+// Capacity is budget-driven rather than fixed: each load picks the
+// largest micro-batch whose tflm.PlanMemoryBatch arena fits the remaining
+// budget, then as many pooled replicas as still fit (both capped at the
+// configured desires). A load that cannot fit even one batch-1 replica is
+// rejected with a structured *BudgetError instead of OOMing at serve time
+// — the host-side emulation of deploying onto a device class with that
+// much SRAM.
+//
+// Because a swap is make-before-break, BOTH versions hold their arena
+// reservations during the drain window: hot-swapping a model therefore
+// needs its new arena to fit next to the old one (transient 2× for a
+// same-size respin). A model too large for that can still be redeployed
+// break-before-make — Unload, wait for the index row to disappear, then
+// Load — at the cost of 404s in between; the budget never lies about
+// what the emulated device could actually hold.
+type Repository struct {
+	cfg RepositoryConfig
+
+	mu      sync.Mutex
+	models  map[string]*repoModel
+	planned int // bytes reserved by live (loading+active+draining) versions
+	closed  bool
+
+	closeOnce sync.Once
+	lowerings atomic.Uint64
+}
+
+// RepositoryConfig configures a Repository.
+type RepositoryConfig struct {
+	// RAMBudgetBytes bounds the summed planned arena bytes of every live
+	// version (0 = unbudgeted). Set it to a device-class SRAM size (e.g.
+	// 320 KB for the paper's medium MCU) to emulate that deployment target.
+	RAMBudgetBytes int
+	// PoolSize is the desired interpreter replicas per model (default 2).
+	// Under a budget the actual pool may be smaller — never larger.
+	PoolSize int
+	// Batch is the desired micro-batching window; under a budget a
+	// version's MaxBatch may be scaled down — never up.
+	Batch BatcherConfig
+	// Options is the default lowering for LoadZoo/LoadSpecFile/WatchSpecs.
+	Options ModelOptions
+	// Logger receives lifecycle events (default slog.Default).
+	Logger *slog.Logger
+}
+
+// ModelState is the lifecycle state of one model version.
+type ModelState string
+
+const (
+	// StateLoading marks a version whose budget is reserved but whose pool
+	// is still warming. It is never served.
+	StateLoading ModelState = "LOADING"
+	// StateReady marks the version currently serving the name.
+	StateReady ModelState = "READY"
+	// StateDraining marks a replaced or unloaded version finishing its
+	// in-flight requests; its budget reservation is still held.
+	StateDraining ModelState = "DRAINING"
+	// StateUnloaded marks a fully retired version (terminal).
+	StateUnloaded ModelState = "UNLOADED"
+)
+
+// ModelStatus is a point-in-time snapshot of one version, the row format
+// of the /v2/repository/index admin endpoint.
+type ModelStatus struct {
+	Name    string     `json:"name"`
+	Version int        `json:"version"`
+	State   ModelState `json:"state"`
+	Task    string     `json:"task,omitempty"`
+	// PoolSize and MaxBatch are the budget-planned serving capacity.
+	PoolSize int `json:"pool_size"`
+	MaxBatch int `json:"max_batch"`
+	// ArenaBytesPerReplica is tflm.PlanMemoryBatch(model, MaxBatch) arena
+	// bytes — what one pooled replica costs in device RAM.
+	ArenaBytesPerReplica int `json:"arena_bytes_per_replica"`
+	// PlannedRAMBytes = PoolSize × ArenaBytesPerReplica, the version's
+	// reservation against the repository budget.
+	PlannedRAMBytes int `json:"planned_ram_bytes"`
+	// FlashBytes is the model's weights+graph flash footprint.
+	FlashBytes int       `json:"flash_bytes"`
+	LoadedAt   time.Time `json:"loaded_at,omitzero"`
+}
+
+// BudgetError rejects a load whose smallest configuration (one replica at
+// batch 1) does not fit the remaining RAM budget. The admin API renders
+// it as a structured 409.
+type BudgetError struct {
+	Model string
+	// NeededBytes is the batch-1 single-replica arena — the minimum the
+	// load would reserve.
+	NeededBytes int
+	// BudgetBytes and PlannedBytes are the repository budget and what live
+	// versions have already reserved against it.
+	BudgetBytes  int
+	PlannedBytes int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("serve: loading %s needs %d arena bytes but only %d of the %d-byte RAM budget is free",
+		e.Model, e.NeededBytes, e.BudgetBytes-e.PlannedBytes, e.BudgetBytes)
+}
+
+// NotLoadedError reports an operation on a name with no serving version;
+// the HTTP layer renders it as 404.
+type NotLoadedError struct{ Model string }
+
+func (e *NotLoadedError) Error() string {
+	return fmt.Sprintf("serve: model %q not loaded", e.Model)
+}
+
+// ErrRepositoryClosed rejects loads after Close.
+var ErrRepositoryClosed = errors.New("serve: repository closed")
+
+// errStaleModel restarts a load whose per-name slot was deleted (by a
+// concurrent unload completing) between lookup and reservation.
+var errStaleModel = errors.New("serve: stale model slot")
+
+// version is one lifecycle of a name. Immutable after publication except
+// for state, which Repository.mu guards.
+type version struct {
+	name string
+	num  int
+	key  registryKey // fingerprint + options identity (drives idempotence)
+	task string
+
+	entry   *Entry
+	batcher *Batcher
+
+	poolSize        int
+	maxBatch        int
+	perReplicaArena int
+	plannedBytes    int
+	flashBytes      int
+	loadedAt        time.Time
+
+	state ModelState // guarded by Repository.mu
+	// inflight counts requests that acquired this version; retirement
+	// waits for it so a draining version finishes everything it was
+	// handed before its batcher closes.
+	inflight sync.WaitGroup
+	// drained closes when the version is fully retired.
+	drained chan struct{}
+}
+
+// repoModel is the per-name slot: one active version plus transients.
+type repoModel struct {
+	// loadMu serializes Load/Unload for the name; the data path never
+	// takes it.
+	loadMu   sync.Mutex
+	active   *version   // guarded by Repository.mu
+	loading  *version   // guarded by Repository.mu
+	draining []*version // guarded by Repository.mu
+	nextNum  int        // guarded by Repository.mu
+}
+
+// NewRepository returns an empty repository.
+func NewRepository(cfg RepositoryConfig) *Repository {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	cfg.Batch.fill()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Repository{cfg: cfg, models: make(map[string]*repoModel)}
+}
+
+// Lowerings returns how many graph lowerings the repository has performed;
+// idempotent re-loads must not increase it.
+func (r *Repository) Lowerings() uint64 { return r.lowerings.Load() }
+
+// RAMBudgetBytes returns the configured budget (0 = unbudgeted).
+func (r *Repository) RAMBudgetBytes() int { return r.cfg.RAMBudgetBytes }
+
+// PlannedRAMBytes returns the bytes currently reserved by live versions.
+func (r *Repository) PlannedRAMBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.planned
+}
+
+// Load publishes spec as the serving version of spec.Name: lower, plan
+// capacity against the budget, warm the pool, then blue/green swap. It
+// returns the new (or, for an identical re-load, the existing) version's
+// status. Loads for distinct names proceed in parallel; loads for one
+// name serialize (single-flight: a concurrent identical load waits and
+// returns the winner's version without re-lowering).
+func (r *Repository) Load(spec *arch.Spec, opts ModelOptions) (ModelStatus, error) {
+	return r.load(spec, opts, false)
+}
+
+func (r *Repository) load(spec *arch.Spec, opts ModelOptions, requireExisting bool) (ModelStatus, error) {
+	if spec == nil || spec.Name == "" {
+		return ModelStatus{}, errors.New("serve: load needs a named spec")
+	}
+	opts = opts.normalize()
+	key := registryKey{fingerprint: fingerprint(spec), opts: opts}
+	name := spec.Name
+
+	// The lowering and capacity candidates depend only on spec+opts, so
+	// a stale-slot retry (the per-name slot deleted by a completing
+	// unload mid-load) reuses them instead of re-lowering.
+	var gm *graph.Model
+	var costs []batchCost
+	for {
+		m := r.modelFor(name)
+		m.loadMu.Lock()
+		// Idempotent fast path, under the per-name lock so concurrent
+		// identical loads single-flight: the loser blocks on loadMu and
+		// finds the winner's version here instead of re-lowering.
+		r.mu.Lock()
+		switch {
+		case r.closed:
+			r.mu.Unlock()
+			m.loadMu.Unlock()
+			return ModelStatus{}, ErrRepositoryClosed
+		case r.models[name] != m:
+			r.mu.Unlock()
+			m.loadMu.Unlock()
+			continue // the slot was deleted under us; re-resolve it
+		case m.active != nil && m.active.key == key:
+			st := statusLocked(m.active)
+			r.mu.Unlock()
+			m.loadMu.Unlock()
+			return st, nil
+		case requireExisting && m.active == nil:
+			r.mu.Unlock()
+			m.loadMu.Unlock()
+			return ModelStatus{}, &NotLoadedError{Model: name}
+		}
+		r.mu.Unlock()
+
+		// The expensive part runs under loadMu only: the data path and
+		// other names stay unblocked while this name lowers and plans.
+		if gm == nil {
+			r.lowerings.Add(1)
+			var err error
+			gm, err = graph.FromSpec(spec, newWeightRNG(opts.Seed), graph.LowerOptions{
+				WeightBits:    opts.WeightBits,
+				ActBits:       opts.ActBits,
+				AppendSoftmax: opts.AppendSoftmax,
+			})
+			if err != nil {
+				m.loadMu.Unlock()
+				return ModelStatus{}, fmt.Errorf("serve: load %s: %w", name, err)
+			}
+			costs, err = batchCosts(gm, r.cfg.Batch.MaxBatch)
+			if err != nil {
+				m.loadMu.Unlock()
+				return ModelStatus{}, fmt.Errorf("serve: load %s: %w", name, err)
+			}
+		}
+
+		v, st, err := r.reserve(name, m, key, spec.Task, gm, costs)
+		if errors.Is(err, errStaleModel) {
+			m.loadMu.Unlock()
+			continue // the slot was deleted under us; re-resolve it
+		}
+		if err != nil {
+			m.loadMu.Unlock()
+			return ModelStatus{}, err
+		}
+		if v == nil {
+			m.loadMu.Unlock()
+			return st, nil // idempotent hit inside the reservation
+		}
+
+		entry, err := newEntry(spec, gm, v.poolSize, v.poolSize)
+		if err != nil {
+			r.release(name, m, v)
+			m.loadMu.Unlock()
+			return ModelStatus{}, fmt.Errorf("serve: load %s: %w", name, err)
+		}
+		v.entry = entry
+		v.batcher = NewBatcher(entry, BatcherConfig{MaxBatch: v.maxBatch, MaxDelay: r.cfg.Batch.MaxDelay})
+
+		// Blue/green swap: publish only the fully warmed version, retire
+		// the one it replaces.
+		r.mu.Lock()
+		v.loadedAt = time.Now()
+		if r.closed {
+			r.mu.Unlock()
+			v.batcher.Close()
+			r.release(name, m, v)
+			m.loadMu.Unlock()
+			return ModelStatus{}, ErrRepositoryClosed
+		}
+		old := m.active
+		m.active = v
+		m.loading = nil
+		v.state = StateReady
+		if old != nil {
+			old.state = StateDraining
+			m.draining = append(m.draining, old)
+		}
+		st = statusLocked(v)
+		r.mu.Unlock()
+		if old != nil {
+			go r.retire(name, m, old)
+		}
+		m.loadMu.Unlock()
+		r.cfg.Logger.Info("model loaded", "model", name, "version", v.num,
+			"pool_size", v.poolSize, "max_batch", v.maxBatch,
+			"planned_ram_bytes", v.plannedBytes, "swapped", old != nil)
+		return st, nil
+	}
+}
+
+// Swap is Load restricted to names that are already serving — the
+// explicit redeploy verb of the public API. The existence check is
+// atomic with the load (both under the per-name lock), so a concurrent
+// Unload cannot turn a Swap into a fresh load.
+func (r *Repository) Swap(spec *arch.Spec, opts ModelOptions) (ModelStatus, error) {
+	return r.load(spec, opts, true)
+}
+
+// LoadZoo loads a catalogue (or runtime-registered) model by name with
+// the repository's default options overridden by opts.
+func (r *Repository) LoadZoo(name string, opts ModelOptions) (ModelStatus, error) {
+	e, err := zoo.Get(name)
+	if err != nil {
+		return ModelStatus{}, err
+	}
+	if e.Spec == nil {
+		return ModelStatus{}, fmt.Errorf("serve: %s is a stats-only comparison point (no public architecture)", name)
+	}
+	return r.Load(e.Spec, opts)
+}
+
+// LoadSpecFile registers every spec of a cmd/search export into the zoo
+// and loads each one — the restartless version of `cmd/serve -specs`.
+// One spec failing (a built-in name collision, an over-budget rejection)
+// does not stop the rest of the file: every spec is attempted, the
+// loaded statuses are returned, and the per-spec failures come back
+// joined into one error. Only an unreadable or unparseable file fails as
+// a whole.
+func (r *Repository) LoadSpecFile(path string, opts ModelOptions) ([]ModelStatus, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	f, err := zoo.ReadSpecFile(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	statuses := make([]ModelStatus, 0, len(f.Specs))
+	var errs []error
+	for _, sp := range f.Specs {
+		e := &zoo.Entry{Name: sp.Name, Task: sp.Task, Spec: sp, Notes: f.Notes[sp.Name]}
+		if err := zoo.Register(e); err != nil {
+			errs = append(errs, fmt.Errorf("serve: %s (from %s): %w", sp.Name, path, err))
+			continue
+		}
+		st, err := r.Load(sp, opts)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: %s (from %s): %w", sp.Name, path, err))
+			continue
+		}
+		statuses = append(statuses, st)
+	}
+	return statuses, errors.Join(errs...)
+}
+
+// Unload drains the active version of a name and retires it. The call
+// returns as soon as the version is DRAINING; in-flight requests finish
+// before its arenas are released.
+func (r *Repository) Unload(name string) error {
+	r.mu.Lock()
+	m := r.models[name]
+	r.mu.Unlock()
+	if m == nil {
+		return &NotLoadedError{Model: name}
+	}
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	r.mu.Lock()
+	v := m.active
+	if v == nil {
+		r.mu.Unlock()
+		return &NotLoadedError{Model: name}
+	}
+	m.active = nil
+	v.state = StateDraining
+	m.draining = append(m.draining, v)
+	r.mu.Unlock()
+	go r.retire(name, m, v)
+	r.cfg.Logger.Info("model unloading", "model", name, "version", v.num)
+	return nil
+}
+
+// Index returns a status row for every live version — active, still
+// warming, and draining — sorted by name then newest version first. This
+// is the payload of GET /v2/repository/index.
+func (r *Repository) Index() []ModelStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []ModelStatus
+	for _, m := range r.models {
+		if m.loading != nil {
+			out = append(out, statusLocked(m.loading))
+		}
+		if m.active != nil {
+			out = append(out, statusLocked(m.active))
+		}
+		for _, d := range m.draining {
+			out = append(out, statusLocked(d))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version > out[j].Version
+	})
+	return out
+}
+
+// Infer runs one quantized input row through the serving version of a
+// name. The version is pinned for the duration of the call, so a
+// concurrent swap or unload drains only after the row is answered.
+func (r *Repository) Infer(ctx context.Context, name string, row []int8) ([]int8, error) {
+	v, release, err := r.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return v.batcher.Submit(ctx, row)
+}
+
+// Close drains every version and rejects further loads. It blocks until
+// all in-flight work has finished.
+func (r *Repository) Close() {
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		var draining []*version
+		for name, m := range r.models {
+			if v := m.active; v != nil {
+				m.active = nil
+				v.state = StateDraining
+				m.draining = append(m.draining, v)
+				go r.retire(name, m, v)
+			}
+			draining = append(draining, m.draining...)
+		}
+		r.mu.Unlock()
+		for _, v := range draining {
+			<-v.drained
+		}
+	})
+}
+
+// WatchSpecs polls spec files — or directories of *.json spec files — and
+// hot-loads every spec whose file appears or changes, making `cmd/search
+// -export` output servable with zero restarts. Blocks until ctx is done;
+// run it in a goroutine. Load failures (including budget rejections) are
+// never fatal: the file is retried on every tick until it loads fully —
+// so a load that 409'd while a draining version still held budget
+// succeeds once the drain frees it — with the failure logged once per
+// file change rather than once per poll.
+func (r *Repository) WatchSpecs(ctx context.Context, paths []string, interval time.Duration, opts ModelOptions) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	loaded := make(map[string]string) // signature that fully loaded
+	failed := make(map[string]string) // signature already logged as failing
+	tick := func() {
+		for _, p := range expandSpecPaths(paths) {
+			fi, err := os.Stat(p)
+			if err != nil {
+				continue
+			}
+			sig := fmt.Sprintf("%d|%d", fi.Size(), fi.ModTime().UnixNano())
+			if loaded[p] == sig {
+				continue
+			}
+			statuses, err := r.LoadSpecFile(p, opts)
+			if err != nil {
+				// Partial loads still count (LoadSpecFile attempts every
+				// spec); keep retrying this signature, but log it once.
+				if failed[p] != sig {
+					failed[p] = sig
+					r.cfg.Logger.Error("spec watch: load failed (will retry)", "path", p,
+						"loaded", len(statuses), "err", err)
+				}
+				continue
+			}
+			loaded[p] = sig
+			delete(failed, p)
+			r.cfg.Logger.Info("spec watch: hot-loaded", "path", p, "models", len(statuses))
+		}
+	}
+	tick()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			tick()
+		}
+	}
+}
+
+// expandSpecPaths resolves directories to their *.json entries.
+func expandSpecPaths(paths []string) []string {
+	var out []string
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err == nil && fi.IsDir() {
+			matches, _ := filepath.Glob(filepath.Join(p, "*.json"))
+			sort.Strings(matches)
+			out = append(out, matches...)
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ---- internals ----
+
+// modelFor returns (creating if needed) the per-name slot.
+func (r *Repository) modelFor(name string) *repoModel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.models[name]
+	if m == nil {
+		m = &repoModel{}
+		r.models[name] = m
+	}
+	return m
+}
+
+// reserve plans capacity for a load and reserves its budget, publishing a
+// LOADING version. Returns (nil, status, nil) when the active version
+// already matches key. Caller holds m.loadMu.
+func (r *Repository) reserve(name string, m *repoModel, key registryKey, task string, gm *graph.Model, costs []batchCost) (*version, ModelStatus, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ModelStatus{}, ErrRepositoryClosed
+	}
+	if r.models[name] != m {
+		return nil, ModelStatus{}, errStaleModel
+	}
+	if m.active != nil && m.active.key == key {
+		return nil, statusLocked(m.active), nil
+	}
+	pool, batch, perReplica, err := r.pickCapacityLocked(name, costs)
+	if err != nil {
+		return nil, ModelStatus{}, err
+	}
+	m.nextNum++
+	v := &version{
+		name:            name,
+		num:             m.nextNum,
+		key:             key,
+		task:            task,
+		poolSize:        pool,
+		maxBatch:        batch,
+		perReplicaArena: perReplica,
+		plannedBytes:    pool * perReplica,
+		flashBytes:      gm.FlashBytes(),
+		state:           StateLoading,
+		drained:         make(chan struct{}),
+	}
+	r.planned += v.plannedBytes
+	m.loading = v
+	return v, ModelStatus{}, nil
+}
+
+// batchCost is one candidate micro-batch and what a single replica at
+// that batch costs in planned arena bytes.
+type batchCost struct{ batch, arenaBytes int }
+
+// batchCosts plans a model at every halving of the desired micro-batch,
+// largest first, ending at batch 1 — the candidate set capacity picking
+// chooses from. Runs outside the repository lock: planning is pure.
+func batchCosts(gm *graph.Model, maxBatch int) ([]batchCost, error) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	var out []batchCost
+	for b := maxBatch; ; b /= 2 {
+		plan, err := tflm.PlanMemoryBatch(gm, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, batchCost{batch: b, arenaBytes: plan.ArenaBytes})
+		if b == 1 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// pickCapacityLocked sizes a load against the remaining budget: the
+// largest candidate micro-batch whose single-replica arena fits, then as
+// many replicas as still fit (capped at the desired PoolSize). Unbudgeted
+// repositories grant the desires as-is. Called with r.mu held.
+func (r *Repository) pickCapacityLocked(name string, costs []batchCost) (pool, batch, perReplica int, err error) {
+	pool = r.cfg.PoolSize
+	if r.cfg.RAMBudgetBytes <= 0 {
+		return pool, costs[0].batch, costs[0].arenaBytes, nil
+	}
+	remaining := r.cfg.RAMBudgetBytes - r.planned
+	chosen := costs[len(costs)-1] // batch 1, the smallest configuration
+	for _, c := range costs {
+		if c.arenaBytes <= remaining {
+			chosen = c
+			break
+		}
+	}
+	if chosen.arenaBytes > remaining {
+		return 0, 0, 0, &BudgetError{
+			Model:        name,
+			NeededBytes:  chosen.arenaBytes,
+			BudgetBytes:  r.cfg.RAMBudgetBytes,
+			PlannedBytes: r.planned,
+		}
+	}
+	if fit := remaining / chosen.arenaBytes; fit < pool {
+		pool = fit
+	}
+	return pool, chosen.batch, chosen.arenaBytes, nil
+}
+
+// release undoes a reservation whose build failed, dropping the slot if
+// nothing else lives under the name.
+func (r *Repository) release(name string, m *repoModel, v *version) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.planned -= v.plannedBytes
+	if m.loading == v {
+		m.loading = nil
+	}
+	r.dropIfEmptyLocked(name, m)
+}
+
+// retire finishes a draining version: wait out the requests that hold it,
+// flush its batcher, release its budget.
+func (r *Repository) retire(name string, m *repoModel, v *version) {
+	v.inflight.Wait()
+	v.batcher.Close()
+	r.mu.Lock()
+	r.planned -= v.plannedBytes
+	v.state = StateUnloaded
+	for i, d := range m.draining {
+		if d == v {
+			m.draining = append(m.draining[:i], m.draining[i+1:]...)
+			break
+		}
+	}
+	r.dropIfEmptyLocked(name, m)
+	r.mu.Unlock()
+	close(v.drained)
+}
+
+// dropIfEmptyLocked removes the per-name slot once no version lives under
+// it, so Index reflects unloads. Called with r.mu held.
+func (r *Repository) dropIfEmptyLocked(name string, m *repoModel) {
+	if m.active == nil && m.loading == nil && len(m.draining) == 0 && r.models[name] == m {
+		delete(r.models, name)
+	}
+}
+
+// acquire pins the serving version of a name: the returned release must
+// be called once the request is finished, and retirement of the version
+// waits for it. Only READY versions are ever returned, so no caller can
+// observe a half-loaded entry.
+func (r *Repository) acquire(name string) (*version, func(), error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.models[name]
+	if m == nil || m.active == nil {
+		return nil, nil, &NotLoadedError{Model: name}
+	}
+	v := m.active
+	v.inflight.Add(1)
+	var once sync.Once
+	return v, func() { once.Do(v.inflight.Done) }, nil
+}
+
+// actives returns the serving versions sorted by name (for /metrics).
+func (r *Repository) actives() []*version {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*version
+	for _, m := range r.models {
+		if m.active != nil {
+			out = append(out, m.active)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// statusLocked snapshots a version. Callers hold Repository.mu.
+func statusLocked(v *version) ModelStatus {
+	return ModelStatus{
+		Name:                 v.name,
+		Version:              v.num,
+		State:                v.state,
+		Task:                 v.task,
+		PoolSize:             v.poolSize,
+		MaxBatch:             v.maxBatch,
+		ArenaBytesPerReplica: v.perReplicaArena,
+		PlannedRAMBytes:      v.plannedBytes,
+		FlashBytes:           v.flashBytes,
+		LoadedAt:             v.loadedAt,
+	}
+}
+
+// ParseRAMBudget parses a human-readable RAM budget — "320KB", "1MB",
+// "512kb", or a plain byte count — into bytes. Empty and "0" mean
+// unbudgeted. This is the parser behind `cmd/serve -ram-budget`.
+func ParseRAMBudget(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	mult := 1
+	switch {
+	case strings.HasSuffix(upper, "MB"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MB")
+	case strings.HasSuffix(upper, "KB"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KB")
+	case strings.HasSuffix(upper, "B"):
+		upper = strings.TrimSuffix(upper, "B")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(upper))
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("serve: bad RAM budget %q (want e.g. 320KB, 1MB, or bytes)", s)
+	}
+	return n * mult, nil
+}

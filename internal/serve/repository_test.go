@@ -1,0 +1,507 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"micronets/internal/arch"
+	"micronets/internal/graph"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+// testSpec returns a private copy of a zoo spec (so tests can rename it
+// without mutating the shared catalogue).
+func testSpec(t *testing.T, name string) *arch.Spec {
+	t.Helper()
+	e, err := zoo.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := *e.Spec
+	cp.Blocks = append([]arch.Block(nil), e.Spec.Blocks...)
+	return &cp
+}
+
+// arenaBytesAt plans a spec at a batch size the way the repository does.
+func arenaBytesAt(t *testing.T, spec *arch.Spec, opts ModelOptions, batch int) int {
+	t.Helper()
+	opts = opts.normalize()
+	m, err := graph.FromSpec(spec, newWeightRNG(opts.Seed), graph.LowerOptions{
+		WeightBits: opts.WeightBits, ActBits: opts.ActBits, AppendSoftmax: opts.AppendSoftmax,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tflm.PlanMemoryBatch(m, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.ArenaBytes
+}
+
+// TestBudgetOfOneArenaYieldsPoolSizeOne is the ROADMAP item made a test:
+// pool size and max batch derive from the RAM budget via
+// tflm.PlanMemoryBatch, so a budget of exactly one batch-1 arena must
+// collapse to one replica serving batch 1 — never a fixed default count.
+func TestBudgetOfOneArenaYieldsPoolSizeOne(t *testing.T) {
+	spec := testSpec(t, "MicroNet-KWS-S")
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+	oneArena := arenaBytesAt(t, spec, opts, 1)
+
+	r := NewRepository(RepositoryConfig{
+		Logger:         discardLogger(),
+		RAMBudgetBytes: oneArena,
+		PoolSize:       8,
+		Batch:          BatcherConfig{MaxBatch: 8},
+	})
+	defer r.Close()
+	st, err := r.Load(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PoolSize != 1 || st.MaxBatch != 1 {
+		t.Fatalf("one-arena budget planned pool %d batch %d, want 1 and 1", st.PoolSize, st.MaxBatch)
+	}
+	if st.PlannedRAMBytes != oneArena || st.ArenaBytesPerReplica != oneArena {
+		t.Fatalf("planned %d bytes (per replica %d), want exactly the one arena %d",
+			st.PlannedRAMBytes, st.ArenaBytesPerReplica, oneArena)
+	}
+	if got := r.PlannedRAMBytes(); got != oneArena {
+		t.Fatalf("repository reservation %d, want %d", got, oneArena)
+	}
+}
+
+// TestBudgetScalesBatchAndPool: a budget of one batch-4 arena serves
+// batch 4 on one replica; doubling it doubles the replicas, not the
+// batch beyond the configured desire.
+func TestBudgetScalesBatchAndPool(t *testing.T) {
+	spec := testSpec(t, "DSCNN-S")
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+	arena4 := arenaBytesAt(t, spec, opts, 4)
+
+	r := NewRepository(RepositoryConfig{
+		Logger:         discardLogger(),
+		RAMBudgetBytes: arena4,
+		PoolSize:       4,
+		Batch:          BatcherConfig{MaxBatch: 4},
+	})
+	st, err := r.Load(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if st.MaxBatch != 4 || st.PoolSize != 1 {
+		t.Fatalf("one batch-4 arena planned pool %d batch %d, want 1 and 4", st.PoolSize, st.MaxBatch)
+	}
+
+	r2 := NewRepository(RepositoryConfig{
+		Logger:         discardLogger(),
+		RAMBudgetBytes: 2 * arena4,
+		PoolSize:       4,
+		Batch:          BatcherConfig{MaxBatch: 4},
+	})
+	defer r2.Close()
+	st2, err := r2.Load(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.MaxBatch != 4 || st2.PoolSize != 2 {
+		t.Fatalf("two batch-4 arenas planned pool %d batch %d, want 2 and 4", st2.PoolSize, st2.MaxBatch)
+	}
+}
+
+// TestBudgetRejectionIsStructured: a load that cannot fit even one
+// batch-1 replica fails with a *BudgetError carrying the exact byte
+// accounting, and reserves nothing.
+func TestBudgetRejectionIsStructured(t *testing.T) {
+	small := testSpec(t, "DSCNN-S")
+	big := testSpec(t, "MicroNet-KWS-S")
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+	smallArena := arenaBytesAt(t, small, opts, 1)
+	bigArena := arenaBytesAt(t, big, opts, 1)
+	if bigArena <= smallArena {
+		t.Fatalf("test premise broken: %d <= %d", bigArena, smallArena)
+	}
+
+	r := NewRepository(RepositoryConfig{
+		Logger:         discardLogger(),
+		RAMBudgetBytes: smallArena,
+		PoolSize:       1,
+		Batch:          BatcherConfig{MaxBatch: 1},
+	})
+	defer r.Close()
+	if _, err := r.Load(small, opts); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Load(big, opts)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("over-budget load returned %v, want *BudgetError", err)
+	}
+	if be.Model != big.Name || be.NeededBytes != bigArena ||
+		be.BudgetBytes != smallArena || be.PlannedBytes != smallArena {
+		t.Fatalf("BudgetError fields %+v; want model %s needed %d budget %d planned %d",
+			be, big.Name, bigArena, smallArena, smallArena)
+	}
+	// The failed load must not leak a reservation or an index row.
+	if got := r.PlannedRAMBytes(); got != smallArena {
+		t.Fatalf("failed load leaked reservation: planned %d, want %d", got, smallArena)
+	}
+	if idx := r.Index(); len(idx) != 1 || idx[0].Name != small.Name {
+		t.Fatalf("failed load leaked an index row: %+v", idx)
+	}
+}
+
+// TestLoadIdempotentAndSwapVersions: re-loading the identical spec+options
+// is a no-op (same version, no new lowering); loading the same name with
+// different options is a blue/green swap to version 2, and the replaced
+// version drains away from the index.
+func TestLoadIdempotentAndSwapVersions(t *testing.T) {
+	spec := testSpec(t, "DSCNN-S")
+	r := NewRepository(RepositoryConfig{PoolSize: 1, Batch: BatcherConfig{MaxBatch: 2}, Logger: discardLogger()})
+	defer r.Close()
+
+	st1, err := r.Load(spec, ModelOptions{Seed: 1, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low1 := r.Lowerings()
+	again, err := r.Load(spec, ModelOptions{Seed: 1, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Version != st1.Version || r.Lowerings() != low1 {
+		t.Fatalf("idempotent re-load went to version %d (lowerings %d -> %d)",
+			again.Version, low1, r.Lowerings())
+	}
+
+	st2, err := r.Swap(spec, ModelOptions{Seed: 2, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Version != st1.Version+1 || st2.State != StateReady {
+		t.Fatalf("swap produced %+v, want READY version %d", st2, st1.Version+1)
+	}
+	// The old version drains (asynchronously) out of the index.
+	waitFor(t, func() bool {
+		idx := r.Index()
+		return len(idx) == 1 && idx[0].Version == st2.Version
+	}, "old version to finish draining")
+
+	// Unload retires the name entirely.
+	if err := r.Unload(spec.Name); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(r.Index()) == 0 }, "unload to empty the index")
+	if _, err := r.Infer(context.Background(), spec.Name, make([]int8, 16000)); err == nil {
+		t.Fatal("infer after unload must fail")
+	}
+	var nl *NotLoadedError
+	if err := r.Unload(spec.Name); !errors.As(err, &nl) {
+		t.Fatalf("double unload returned %v, want *NotLoadedError", err)
+	}
+	if got := r.PlannedRAMBytes(); got != 0 {
+		t.Fatalf("retired repository still reserves %d bytes", got)
+	}
+}
+
+// TestSwapRequiresLoaded: Swap on a never-loaded name is a NotLoadedError
+// (Load is the verb that creates).
+func TestSwapRequiresLoaded(t *testing.T) {
+	spec := testSpec(t, "DSCNN-S")
+	r := NewRepository(RepositoryConfig{PoolSize: 1, Logger: discardLogger()})
+	defer r.Close()
+	var nl *NotLoadedError
+	if _, err := r.Swap(spec, ModelOptions{}); !errors.As(err, &nl) {
+		t.Fatalf("swap of unloaded model returned %v, want *NotLoadedError", err)
+	}
+}
+
+// TestRepositoryConcurrentLifecycle hammers load/unload/infer/index on
+// one model name under -race. The invariants: an inference either
+// completes with a full-length output (in-flight work on a draining
+// version is never cut off — no ErrDraining can surface) or fails with
+// NotLoadedError because the name was unloaded at acquire time; the index
+// only ever shows lifecycle states; and after the storm the repository is
+// still fully serviceable.
+func TestRepositoryConcurrentLifecycle(t *testing.T) {
+	spec := testSpec(t, "DSCNN-S")
+	e, err := zoo.Get("DSCNN-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+	outElems := e.Spec.NumClasses
+
+	r := NewRepository(RepositoryConfig{
+		Logger:   discardLogger(),
+		PoolSize: 2,
+		Batch:    BatcherConfig{MaxBatch: 4, MaxDelay: 100 * time.Microsecond},
+	})
+	defer r.Close()
+	if _, err := r.Load(spec, ModelOptions{Seed: 0, AppendSoftmax: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	const loaders, inferers = 2, 4
+	const iters = 15
+	var served, rejected atomic.Uint64
+	var loaderWg, inferWg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < loaders; w++ {
+		loaderWg.Add(1)
+		go func(w int) {
+			defer loaderWg.Done()
+			for i := 0; i < iters; i++ {
+				// Alternate seeds so every other load is a real swap, and
+				// sometimes unload so inferers see the name vanish.
+				if _, err := r.Load(spec, ModelOptions{Seed: int64(i % 2), AppendSoftmax: true}); err != nil {
+					t.Errorf("loader %d: %v", w, err)
+					return
+				}
+				if i%10 == 9 {
+					var nl *NotLoadedError
+					if err := r.Unload(spec.Name); err != nil && !errors.As(err, &nl) {
+						t.Errorf("unloader: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < inferers; w++ {
+		inferWg.Add(1)
+		go func(w int) {
+			defer inferWg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			row := make([]int8, elems)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range row {
+					row[i] = int8(rng.Intn(17) - 8)
+				}
+				out, err := r.Infer(context.Background(), spec.Name, row)
+				if err != nil {
+					var nl *NotLoadedError
+					if !errors.As(err, &nl) {
+						t.Errorf("inferer %d: unexpected error %v", w, err)
+						return
+					}
+					rejected.Add(1)
+					continue
+				}
+				if len(out) != outElems {
+					t.Errorf("inferer %d: got %d output elems, want %d (half-loaded entry?)", w, len(out), outElems)
+					return
+				}
+				served.Add(1)
+				time.Sleep(200 * time.Microsecond) // don't starve the loaders' lock
+			}
+		}(w)
+	}
+	indexDone := make(chan struct{})
+	go func() {
+		defer close(indexDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, st := range r.Index() {
+				switch st.State {
+				case StateLoading, StateReady, StateDraining:
+				default:
+					t.Errorf("index shows state %q", st.State)
+					return
+				}
+				if st.PlannedRAMBytes <= 0 || st.PoolSize < 1 {
+					t.Errorf("index shows unplanned row %+v", st)
+					return
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Wait for the loaders, then stop the data-path hammering.
+	loaderDone := make(chan struct{})
+	go func() { loaderWg.Wait(); close(loaderDone) }()
+	select {
+	case <-loaderDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("lifecycle storm wedged")
+	}
+	close(stop)
+	inferWg.Wait()
+	<-indexDone
+
+	// The storm ends in a loaded state; the data path must still work.
+	st, err := r.Load(spec, ModelOptions{Seed: 7, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateReady {
+		t.Fatalf("final load state %s", st.State)
+	}
+	if _, err := r.Infer(context.Background(), spec.Name, make([]int8, elems)); err != nil {
+		t.Fatalf("infer after storm: %v", err)
+	}
+	t.Logf("storm: %d served, %d rejected (name unloaded), final version %d",
+		served.Load(), rejected.Load(), st.Version)
+}
+
+// TestWatchSpecsHotLoads: a spec file appearing in a watched directory is
+// registered and loaded without any restart; rewriting it with new
+// content swaps to a new version.
+func TestWatchSpecsHotLoads(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(t, "DSCNN-S")
+	spec.Name = "Watched-DSCNN-Test"
+	t.Cleanup(func() { zoo.Unregister(spec.Name) })
+
+	r := NewRepository(RepositoryConfig{
+		Logger:   discardLogger(),
+		PoolSize: 1,
+		Options:  ModelOptions{Seed: 42, AppendSoftmax: true},
+	})
+	defer r.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		r.WatchSpecs(ctx, []string{dir}, 10*time.Millisecond, r.cfg.Options)
+	}()
+
+	writeTestSpecFile(t, dir+"/frontier.json", spec)
+	waitFor(t, func() bool {
+		idx := r.Index()
+		return len(idx) == 1 && idx[0].Name == spec.Name && idx[0].State == StateReady
+	}, "watched spec file to load")
+	v1 := r.Index()[0].Version
+
+	// A changed file hot-swaps. Mutate the architecture so the
+	// fingerprint changes (same name).
+	spec.Blocks[len(spec.Blocks)-1].OutC++
+	// Ensure a distinct mtime even on coarse filesystem clocks.
+	time.Sleep(20 * time.Millisecond)
+	writeTestSpecFile(t, dir+"/frontier.json", spec)
+	waitFor(t, func() bool {
+		for _, st := range r.Index() {
+			if st.Name == spec.Name && st.State == StateReady && st.Version > v1 {
+				return true
+			}
+		}
+		return false
+	}, "rewritten spec file to swap versions")
+
+	cancel()
+	<-watchDone
+}
+
+// TestWatchSpecsRetriesAfterBudgetFrees: a watched file whose load 409s
+// against a full budget must be retried on later ticks — once an unload
+// frees the budget, the file loads without being touched again.
+func TestWatchSpecsRetriesAfterBudgetFrees(t *testing.T) {
+	blocker := testSpec(t, "DSCNN-S")
+	watched := testSpec(t, "DSCNN-S")
+	watched.Name = "Watched-Retry-Test"
+	t.Cleanup(func() { zoo.Unregister(watched.Name) })
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+
+	r := NewRepository(RepositoryConfig{
+		Logger:         discardLogger(),
+		RAMBudgetBytes: arenaBytesAt(t, blocker, opts, 1),
+		PoolSize:       1,
+		Batch:          BatcherConfig{MaxBatch: 1},
+		Options:        opts,
+	})
+	defer r.Close()
+	if _, err := r.Load(blocker, opts); err != nil {
+		t.Fatal(err) // the blocker consumes the whole budget
+	}
+
+	dir := t.TempDir()
+	writeTestSpecFile(t, dir+"/retry.json", watched)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		r.WatchSpecs(ctx, []string{dir}, 5*time.Millisecond, opts)
+	}()
+
+	// The watcher must keep failing (budget full) without loading it...
+	time.Sleep(50 * time.Millisecond)
+	for _, st := range r.Index() {
+		if st.Name == watched.Name {
+			t.Fatalf("over-budget watched spec loaded anyway: %+v", st)
+		}
+	}
+	// ...and succeed on a later tick once the budget frees, with the
+	// file untouched.
+	if err := r.Unload(blocker.Name); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		for _, st := range r.Index() {
+			if st.Name == watched.Name && st.State == StateReady {
+				return true
+			}
+		}
+		return false
+	}, "watched spec to load after the budget freed")
+	cancel()
+	<-watchDone
+}
+
+func writeTestSpecFile(t *testing.T, path string, specs ...*arch.Spec) {
+	t.Helper()
+	// Write-then-rename so the watcher never reads a torn file.
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zoo.WriteSpecFile(f, &zoo.SpecFile{GeneratedBy: "repository_test", Specs: specs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls a condition with a deadline, for the asynchronous drain
+// and watch paths.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// discardLogger silences repository lifecycle logs in tests.
+func discardLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }

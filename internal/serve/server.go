@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"net"
@@ -13,22 +14,48 @@ import (
 	"sync/atomic"
 	"time"
 
+	"micronets/internal/arch"
 	"micronets/internal/graph"
 	"micronets/internal/zoo"
 )
 
 // Config configures a Server.
 type Config struct {
-	// Models are the zoo names to preload; empty defaults to the full
-	// servable catalogue (zoo.ServableNames).
+	// Repository, when set, is the externally owned control plane the
+	// server serves from (the caller keeps its lifecycle). When nil the
+	// server builds and owns one from the fields below.
+	Repository *Repository
+	// Models are the zoo names to load at boot. Empty defaults to the
+	// full servable catalogue when the repository starts empty; models
+	// that do not fit the RAM budget are then skipped with a warning
+	// instead of failing the boot.
 	Models []string
-	// Options selects the lowering (bits, seed, softmax) shared by every
-	// served model.
+	// Options selects the default lowering (bits, seed, softmax).
 	Options ModelOptions
-	// PoolSize is interpreters pre-warmed per model (default 2).
+	// PoolSize is the desired interpreters per model (default 2); a RAM
+	// budget may scale it down per model.
 	PoolSize int
-	// Batch bounds the micro-batching window.
+	// Batch bounds the micro-batching window; a RAM budget may scale
+	// MaxBatch down per model.
 	Batch BatcherConfig
+	// RAMBudgetBytes bounds the summed planned arena bytes across all
+	// loaded models (0 = unbudgeted). See RepositoryConfig.
+	RAMBudgetBytes int
+	// SkipOverBudget makes boot loads best-effort: a model in Models that
+	// cannot fit the RAM budget is skipped with a warning instead of
+	// failing New. Catalogue-wide boots ("serve everything that fits")
+	// set it; explicit curated lists should not.
+	SkipOverBudget bool
+	// DisableAdmin turns off the /v2/repository control-plane endpoints,
+	// freezing the model set like the pre-repository server.
+	DisableAdmin bool
+	// WatchSpecs lists spec files (or directories of *.json spec files)
+	// the server polls and hot-loads on change. The watcher starts only
+	// after the boot loads finish, so it can never race them for the RAM
+	// budget, and stops when serving stops.
+	WatchSpecs []string
+	// WatchInterval is the WatchSpecs poll interval (default 2s).
+	WatchInterval time.Duration
 	// Logger receives one structured line per request (default
 	// slog.Default).
 	Logger *slog.Logger
@@ -41,34 +68,32 @@ type Config struct {
 	DrainGrace time.Duration
 }
 
-// servedModel is one model's full serving chain.
-type servedModel struct {
-	entry   *Entry
-	batcher *Batcher
-}
-
-// Server is the HTTP inference server. Construct with New (which preloads
-// and pool-warms every model, so readiness implies zero cold-start on the
-// request path), mount Handler on any listener, and Close to drain.
+// Server is the HTTP inference server: the KServe-v2-style data plane
+// (health, models, infer, metrics) plus the repository admin control
+// plane, all backed by one Repository. Construct with New (which loads
+// and pool-warms the boot models, so readiness implies zero cold-start on
+// the request path), mount Handler on any listener, and Close to drain.
 type Server struct {
-	cfg    Config
-	reg    *Registry
-	models map[string]*servedModel
-	mux    *http.ServeMux
-	log    *slog.Logger
-	ready  atomic.Bool
-	start  time.Time
+	cfg      Config
+	repo     *Repository
+	ownsRepo bool
+	mux      *http.ServeMux
+	log      *slog.Logger
+	ready    atomic.Bool
+	start    time.Time
 
+	// publishMu serializes inline-spec publishes (a rare admin
+	// operation), so a failed publish's zoo rollback can never undo a
+	// concurrent successful publish of the same name.
+	publishMu sync.Mutex
 	closeOnce sync.Once
 }
 
-// New preloads cfg.Models into a fresh registry and starts one batcher
-// per model. It returns an error if any model cannot be lowered or
-// planned — a server that constructs is fully warm.
+// New builds the server and loads cfg.Models through the repository. It
+// returns an error if any explicitly requested model cannot be lowered,
+// planned, or fit into the budget — a server that constructs is fully
+// warm for everything it reports serving.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Models) == 0 {
-		cfg.Models = zoo.ServableNames()
-	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -78,22 +103,47 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainGrace == 0 {
 		cfg.DrainGrace = 500 * time.Millisecond
 	}
+	repo := cfg.Repository
+	ownsRepo := false
+	if repo == nil {
+		ownsRepo = true
+		repo = NewRepository(RepositoryConfig{
+			RAMBudgetBytes: cfg.RAMBudgetBytes,
+			PoolSize:       cfg.PoolSize,
+			Batch:          cfg.Batch,
+			Options:        cfg.Options,
+			Logger:         cfg.Logger,
+		})
+	}
+	// "Serve everything" is the default only when nothing else decides
+	// the model set — no explicit list, and no repository preloaded by
+	// the caller. An implicit catalogue is best-effort under a RAM
+	// budget: models that cannot fit are skipped, not fatal.
+	if len(cfg.Models) == 0 && len(repo.Index()) == 0 {
+		cfg.Models = zoo.ServableNames()
+		cfg.SkipOverBudget = true
+	}
 	s := &Server{
-		cfg:    cfg,
-		reg:    NewRegistry(RegistryConfig{PoolSize: cfg.PoolSize}),
-		models: make(map[string]*servedModel, len(cfg.Models)),
-		log:    cfg.Logger,
-		start:  time.Now(),
+		cfg:      cfg,
+		repo:     repo,
+		ownsRepo: ownsRepo,
+		log:      cfg.Logger,
+		start:    time.Now(),
 	}
 	for _, name := range cfg.Models {
-		if _, dup := s.models[name]; dup {
-			continue // a repeated name must not leak the first batcher
-		}
-		entry, err := s.reg.Get(name, cfg.Options)
-		if err != nil {
+		if _, err := repo.LoadZoo(name, cfg.Options); err != nil {
+			var be *BudgetError
+			if cfg.SkipOverBudget && errors.As(err, &be) {
+				cfg.Logger.Warn("skipping model over RAM budget", "model", name,
+					"needed_bytes", be.NeededBytes, "budget_bytes", be.BudgetBytes,
+					"planned_bytes", be.PlannedBytes)
+				continue
+			}
+			if ownsRepo {
+				repo.Close()
+			}
 			return nil, err
 		}
-		s.models[name] = &servedModel{entry: entry, batcher: NewBatcher(entry, cfg.Batch)}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v2/health/live", s.handleLive)
@@ -102,20 +152,30 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v2/models/{name}", s.handleModelMeta)
 	s.mux.HandleFunc("POST /v2/models/{name}/infer", s.handleInfer)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if !cfg.DisableAdmin {
+		s.mux.HandleFunc("GET /v2/repository/index", s.handleRepoIndex)
+		s.mux.HandleFunc("POST /v2/repository/models/{name}/load", s.handleRepoLoad)
+		s.mux.HandleFunc("POST /v2/repository/models/{name}/unload", s.handleRepoUnload)
+	}
 	s.ready.Store(true)
 	return s, nil
 }
 
+// Repository returns the server's control plane, for callers that want to
+// drive lifecycles programmatically next to the HTTP admin surface.
+func (s *Server) Repository() *Repository { return s.repo }
+
 // Handler returns the fully routed handler wrapped in request logging.
 func (s *Server) Handler() http.Handler { return s.logMiddleware(s.mux) }
 
-// Close marks the server not-ready and drains every batcher: queued
-// requests finish, new Submits fail with ErrDraining. Idempotent.
+// Close marks the server not-ready and, when the server owns its
+// repository, drains every model: queued requests finish, new infers fail
+// with 503. Idempotent.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.ready.Store(false)
-		for _, m := range s.models {
-			m.batcher.Close()
+		if s.ownsRepo {
+			s.repo.Close()
 		}
 	})
 }
@@ -136,8 +196,16 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	s.log.Info("serving", "addr", ln.Addr().String(), "models", len(s.models),
-		"pool_size", s.reg.cfg.PoolSize, "max_batch", s.cfg.Batch.MaxBatch)
+	// The spec watcher starts strictly after New's boot loads, so the
+	// boot model set and its budget reservations are deterministic.
+	if len(s.cfg.WatchSpecs) > 0 {
+		watchCtx, stopWatch := context.WithCancel(ctx)
+		defer stopWatch()
+		go s.repo.WatchSpecs(watchCtx, s.cfg.WatchSpecs, s.cfg.WatchInterval, s.cfg.Options)
+	}
+	s.log.Info("serving", "addr", ln.Addr().String(), "models", len(s.repo.actives()),
+		"ram_budget_bytes", s.repo.RAMBudgetBytes(), "admin", !s.cfg.DisableAdmin,
+		"watch_specs", len(s.cfg.WatchSpecs))
 	select {
 	case err := <-errc:
 		s.Close()
@@ -207,30 +275,34 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	type modelState struct {
-		Name  string `json:"name"`
-		Task  string `json:"task"`
-		State string `json:"state"`
+		Name    string `json:"name"`
+		Task    string `json:"task"`
+		State   string `json:"state"`
+		Version int    `json:"version"`
 	}
-	entries := s.reg.Entries()
-	out := make([]modelState, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, modelState{Name: e.Name, Task: e.Spec.Task, State: "READY"})
+	out := make([]modelState, 0)
+	for _, st := range s.repo.Index() {
+		if st.State == StateReady {
+			out = append(out, modelState{Name: st.Name, Task: st.Task, State: string(st.State), Version: st.Version})
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": out})
 }
 
 func (s *Server) handleModelMeta(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.models[r.PathValue("name")]
-	if !ok {
-		writeJSON(w, http.StatusNotFound, v2Error{Error: fmt.Sprintf("model %q not loaded", r.PathValue("name"))})
+	name := r.PathValue("name")
+	v, release, err := s.repo.acquire(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, v2Error{Error: err.Error()})
 		return
 	}
-	mod := m.entry.Model
+	defer release()
+	mod := v.entry.Model
 	in := mod.Tensors[mod.Input]
 	out := mod.Tensors[mod.Output]
 	writeJSON(w, http.StatusOK, map[string]any{
-		"name":     m.entry.Name,
-		"versions": []string{"1"},
+		"name":     v.name,
+		"versions": []string{fmt.Sprint(v.num)},
 		"platform": "micronets-go-tflm",
 		"inputs": []map[string]any{{
 			"name": "input", "datatype": "FP32",
@@ -244,28 +316,38 @@ func (s *Server) handleModelMeta(w http.ResponseWriter, r *http.Request) {
 			"shape": []int{out.Elems()},
 		}},
 		"details": map[string]any{
-			"task":        m.entry.Spec.Task,
-			"macs":        mod.TotalMACs(),
-			"flash_bytes": mod.FlashBytes(),
-			"arena_bytes": m.entry.ArenaBytes,
-			"pool_size":   m.entry.Pool.Size(),
+			"task":              v.task,
+			"macs":              mod.TotalMACs(),
+			"flash_bytes":       mod.FlashBytes(),
+			"arena_bytes":       v.entry.ArenaBytes,
+			"pool_size":         v.poolSize,
+			"max_batch":         v.maxBatch,
+			"planned_ram_bytes": v.plannedBytes,
 		},
 	})
 }
 
 // handleInfer decodes a v2 infer request, quantizes (or passes through)
-// the input rows, pushes each row through the model's micro-batcher, and
-// answers with the dequantized score vector plus argmax class and top
-// score per row. A leading batch dimension is allowed: shape [n, h, w, c]
-// (or data of n×elems values) fans out to n concurrent batcher submits,
-// which the batcher then coalesces back into few InvokeBatch calls.
+// the input rows, pushes each row through the serving version's
+// micro-batcher, and answers with the dequantized score vector plus
+// argmax class and top score per row. A leading batch dimension is
+// allowed: shape [n, h, w, c] (or data of n×elems values) fans out to n
+// concurrent batcher submits, which the batcher then coalesces back into
+// few InvokeBatch calls. The version is pinned for the whole request, so
+// a concurrent swap or unload cannot fail rows already being served.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
-	m, ok := s.models[r.PathValue("name")]
-	if !ok {
-		writeJSON(w, http.StatusNotFound, v2Error{Error: fmt.Sprintf("model %q not loaded", r.PathValue("name"))})
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, v2Error{Error: "server draining"})
 		return
 	}
-	mod := m.entry.Model
+	name := r.PathValue("name")
+	v, release, err := s.repo.acquire(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, v2Error{Error: err.Error()})
+		return
+	}
+	defer release()
+	mod := v.entry.Model
 	elems := mod.Tensors[mod.Input].Elems()
 	// Bound the body before decoding: ~24 bytes per JSON float for a full
 	// client batch plus envelope headroom. One oversized POST must not be
@@ -289,7 +371,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	in := req.Inputs[0]
 	n, err := batchRows(in, mod.Tensors[mod.Input])
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf("input %q: %v (model %s)", in.Name, err, m.entry.Name)})
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf("input %q: %v (model %s)", in.Name, err, v.name)})
 		return
 	}
 	rows := make([][]int8, n)
@@ -309,7 +391,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
-			outs[b], errs[b] = m.batcher.Submit(r.Context(), rows[b])
+			outs[b], errs[b] = v.batcher.Submit(r.Context(), rows[b])
 		}(b)
 	}
 	wg.Wait()
@@ -331,8 +413,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	for b, out := range outs {
 		best := 0
 		for i, q := range out {
-			v := float64(outT.Scale) * float64(int32(q)-outT.ZeroPoint)
-			scores = append(scores, v)
+			val := float64(outT.Scale) * float64(int32(q)-outT.ZeroPoint)
+			scores = append(scores, val)
 			if q > out[best] {
 				best = i
 			}
@@ -341,7 +423,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		top[b] = float64(outT.Scale) * float64(int32(out[best])-outT.ZeroPoint)
 	}
 	writeJSON(w, http.StatusOK, v2InferResponse{
-		ModelName: m.entry.Name,
+		ModelName: v.name,
 		ID:        req.ID,
 		Outputs: []v2Tensor{
 			{Name: "scores", Datatype: "FP32", Shape: []int{n, outT.Elems()}, Data: scores},
@@ -349,6 +431,191 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			{Name: "score", Datatype: "FP32", Shape: []int{n}, Data: top},
 		},
 	})
+}
+
+// ---- repository admin control plane ----
+
+// repoLoadRequest is the body of POST /v2/repository/models/{name}/load.
+// All fields are optional: an empty body loads {name} from the zoo
+// catalogue (including previously registered search exports).
+type repoLoadRequest struct {
+	// SpecFile is a server-local spec file (cmd/search -export output) to
+	// register before loading {name} from it.
+	SpecFile string `json:"spec_file,omitempty"`
+	// Spec is a complete inline architecture, the no-shared-filesystem
+	// publish path (cmd/search -publish). Its name must match the URL.
+	Spec *arch.Spec `json:"spec,omitempty"`
+	// Options overrides the server's default lowering for this load.
+	Options *repoLoadOptions `json:"options,omitempty"`
+}
+
+// repoLoadOptions overrides individual fields of the server's default
+// lowering; absent fields keep the default (so `{"seed":7}` on a 4-bit
+// server still loads a 4-bit model).
+type repoLoadOptions struct {
+	WeightBits *int   `json:"weight_bits,omitempty"`
+	ActBits    *int   `json:"act_bits,omitempty"`
+	Seed       *int64 `json:"seed,omitempty"`
+	Softmax    *bool  `json:"softmax,omitempty"`
+}
+
+// repoBudgetError is the structured 409 body for over-budget loads.
+type repoBudgetError struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	Model        string `json:"model"`
+	NeededBytes  int    `json:"needed_bytes"`
+	BudgetBytes  int    `json:"budget_bytes"`
+	PlannedBytes int    `json:"planned_bytes"`
+}
+
+// writeRepoError maps control-plane errors onto admin API statuses: 409
+// for budget rejections (with the structured body), 404 for unknown
+// models, 503 when closed, 400 otherwise.
+func writeRepoError(w http.ResponseWriter, err error) {
+	var be *BudgetError
+	if errors.As(err, &be) {
+		writeJSON(w, http.StatusConflict, repoBudgetError{
+			Error:        be.Error(),
+			Code:         "ram_budget_exceeded",
+			Model:        be.Model,
+			NeededBytes:  be.NeededBytes,
+			BudgetBytes:  be.BudgetBytes,
+			PlannedBytes: be.PlannedBytes,
+		})
+		return
+	}
+	var nl *NotLoadedError
+	switch {
+	case errors.As(err, &nl):
+		writeJSON(w, http.StatusNotFound, v2Error{Error: err.Error()})
+	case errors.Is(err, ErrRepositoryClosed):
+		writeJSON(w, http.StatusServiceUnavailable, v2Error{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleRepoIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":            s.repo.Index(),
+		"ram_budget_bytes":  s.repo.RAMBudgetBytes(),
+		"ram_planned_bytes": s.repo.PlannedRAMBytes(),
+	})
+}
+
+func (s *Server) handleRepoLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req repoLoadRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, v2Error{Error: "load body exceeds 1MB"})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, v2Error{Error: "bad JSON: " + err.Error()})
+			return
+		}
+	}
+	opts := s.cfg.Options
+	if o := req.Options; o != nil {
+		if o.WeightBits != nil {
+			opts.WeightBits = *o.WeightBits
+		}
+		if o.ActBits != nil {
+			opts.ActBits = *o.ActBits
+		}
+		if o.Seed != nil {
+			opts.Seed = *o.Seed
+		}
+		if o.Softmax != nil {
+			opts.AppendSoftmax = *o.Softmax
+		}
+	}
+
+	if req.Spec != nil {
+		if req.Spec.Name != name {
+			writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf(
+				"inline spec is named %q, URL says %q", req.Spec.Name, name)})
+			return
+		}
+		// Register the publication, load, and — on failure — roll the
+		// catalogue back to its snapshot, under the publish lock: a load
+		// rejected by the budget must leave the zoo exactly as it was,
+		// and a concurrent successful publish of the same name must never
+		// be undone by a failing one.
+		s.publishMu.Lock()
+		defer s.publishMu.Unlock()
+		entry := &zoo.Entry{Name: name, Task: req.Spec.Task, Spec: req.Spec,
+			Notes: "published via /v2/repository"}
+		prev := zooEntryFor(name)
+		if err := zoo.Register(entry); err != nil {
+			writeJSON(w, http.StatusBadRequest, v2Error{Error: err.Error()})
+			return
+		}
+		st, err := s.repo.Load(req.Spec, opts)
+		if err != nil {
+			// Roll back only if the entry is still ours — a concurrent
+			// watcher or spec-file load may have re-registered the name
+			// meanwhile, and its registration must survive our failure.
+			if cur := zooEntryFor(name); cur != nil && cur.Spec == req.Spec {
+				if prev != nil {
+					_ = zoo.Register(prev)
+				} else {
+					zoo.Unregister(name)
+				}
+			}
+			writeRepoError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+
+	if req.SpecFile != "" {
+		if _, err := zoo.RegisterSpecFile(req.SpecFile); err != nil {
+			writeJSON(w, http.StatusBadRequest, v2Error{Error: err.Error()})
+			return
+		}
+	}
+	e, err := zoo.Get(name)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, v2Error{Error: err.Error()})
+		return
+	}
+	if e.Spec == nil {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf(
+			"%s is a stats-only comparison point (no public architecture)", name)})
+		return
+	}
+	st, err := s.repo.Load(e.Spec, opts)
+	if err != nil {
+		writeRepoError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// zooEntryFor snapshots the current catalogue entry for a name (nil when
+// absent or stats-only), for rolling back a failed inline publish. A
+// built-in entry never reaches the rollback: registering over it fails
+// before any load is attempted.
+func zooEntryFor(name string) *zoo.Entry {
+	e, err := zoo.Get(name)
+	if err != nil || e.Spec == nil {
+		return nil
+	}
+	return e
+}
+
+func (s *Server) handleRepoUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.repo.Unload(name); err != nil {
+		writeRepoError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "state": StateDraining})
 }
 
 // maxInferRows caps the leading client-side batch dimension of one infer

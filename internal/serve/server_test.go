@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net/http"
@@ -313,9 +314,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		"micronets_serve_models_loaded 2",
 		"micronets_serve_lowerings_total 2",
+		"micronets_serve_ram_budget_bytes 0",
+		"micronets_serve_ram_planned_bytes ",
 		`micronets_serve_requests_total{model="MicroNet-KWS-S"} 1`,
 		`micronets_serve_batches_total{model="MicroNet-KWS-S"} 1`,
 		`micronets_serve_arena_bytes{model="MicroNet-KWS-S"}`,
+		`micronets_serve_model_version{model="MicroNet-KWS-S"} 1`,
+		`micronets_serve_model_versions{model="MicroNet-KWS-S"} 1`,
+		`micronets_serve_pool_size{model="MicroNet-KWS-S"} 2`,
+		`micronets_serve_max_batch{model="MicroNet-KWS-S"} 8`,
+		`micronets_serve_planned_arena_bytes{model="MicroNet-KWS-S"}`,
 		`micronets_serve_batch_window_seconds{model="DSCNN-S"}`,
 	} {
 		if !strings.Contains(body, want) {
@@ -324,8 +332,318 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// postJSON POSTs a body (possibly empty) and decodes the JSON response.
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// repoIndex fetches /v2/repository/index rows keyed by model name (the
+// newest version wins, matching the sort order).
+func repoIndex(t *testing.T, url string) map[string]map[string]any {
+	t.Helper()
+	out := getJSON(t, url+"/v2/repository/index", 200)
+	rows, _ := out["models"].([]any)
+	byName := map[string]map[string]any{}
+	for _, r := range rows {
+		row := r.(map[string]any)
+		name := row["name"].(string)
+		if _, dup := byName[name]; !dup {
+			byName[name] = row
+		}
+	}
+	return byName
+}
+
+// TestAdminLoadUnloadIndex drives the control plane over HTTP: a model
+// not in the boot set is hot-loaded by name, appears READY in the index
+// with its planned capacity columns, serves an infer, and 404s again
+// after unload — all without any restart.
+func TestAdminLoadUnloadIndex(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Boot state: both test models READY with capacity columns.
+	idx := repoIndex(t, ts.URL)
+	if len(idx) != 2 {
+		t.Fatalf("boot index has %d models, want 2: %v", len(idx), idx)
+	}
+	for name, row := range idx {
+		if row["state"] != "READY" || row["planned_ram_bytes"].(float64) <= 0 || row["flash_bytes"].(float64) <= 0 {
+			t.Fatalf("boot index row %s = %v", name, row)
+		}
+	}
+
+	// MBNETV2-S is not in the boot set: infer 404s, then an empty-body
+	// admin load makes it servable.
+	e, _ := zoo.Get("MBNETV2-S")
+	elems := e.Spec.InputH * e.Spec.InputW * e.Spec.InputC
+	data := make([]float64, elems)
+	body, _ := json.Marshal(v2InferRequest{Inputs: []v2Tensor{{Name: "input", Datatype: "FP32", Data: data}}})
+	resp, err := http.Post(ts.URL+"/v2/models/MBNETV2-S/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("infer before load: status %d, want 404", resp.StatusCode)
+	}
+
+	code, st := postJSON(t, ts.URL+"/v2/repository/models/MBNETV2-S/load", "")
+	if code != 200 || st["state"] != "READY" || st["version"].(float64) != 1 {
+		t.Fatalf("admin load: code %d, status %v", code, st)
+	}
+	if row := repoIndex(t, ts.URL)["MBNETV2-S"]; row == nil || row["state"] != "READY" {
+		t.Fatalf("loaded model missing from index: %v", row)
+	}
+	inferOnce(t, ts.URL, "MBNETV2-S", data)
+
+	// Loading again is idempotent — still version 1, no second lowering.
+	low := s.repo.Lowerings()
+	code, st = postJSON(t, ts.URL+"/v2/repository/models/MBNETV2-S/load", "")
+	if code != 200 || st["version"].(float64) != 1 || s.repo.Lowerings() != low {
+		t.Fatalf("re-load: code %d status %v lowerings %d->%d", code, st, low, s.repo.Lowerings())
+	}
+
+	// Unload drains it out of the index and the data path.
+	code, _ = postJSON(t, ts.URL+"/v2/repository/models/MBNETV2-S/unload", "")
+	if code != 200 {
+		t.Fatalf("unload: code %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for repoIndex(t, ts.URL)["MBNETV2-S"] != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("unloaded model never left the index")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp2, err := http.Post(ts.URL+"/v2/models/MBNETV2-S/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("infer after unload: status %d, want 404", resp2.StatusCode)
+	}
+
+	// Unknown names 404 on both verbs.
+	if code, _ := postJSON(t, ts.URL+"/v2/repository/models/NoSuchModel/load", ""); code != 404 {
+		t.Fatalf("load unknown: code %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v2/repository/models/NoSuchModel/unload", ""); code != 404 {
+		t.Fatalf("unload unknown: code %d", code)
+	}
+}
+
+// TestAdminLoadInlineSpec publishes a complete architecture in the load
+// body — the cmd/search -publish path — and proves it serves; a name
+// mismatch between URL and spec is a 400.
+func TestAdminLoadInlineSpec(t *testing.T) {
+	_, ts := newTestServer(t)
+	e, _ := zoo.Get("DSCNN-S")
+	spec := *e.Spec
+	spec.Name = "Inline-Test-DSCNN"
+	t.Cleanup(func() { zoo.Unregister(spec.Name) })
+
+	body, _ := json.Marshal(map[string]any{"spec": &spec, "options": map[string]any{"seed": 7}})
+	code, st := postJSON(t, ts.URL+"/v2/repository/models/Inline-Test-DSCNN/load", string(body))
+	if code != 200 || st["state"] != "READY" {
+		t.Fatalf("inline load: code %d status %v", code, st)
+	}
+	elems := spec.InputH * spec.InputW * spec.InputC
+	resp := inferOnce(t, ts.URL, spec.Name, make([]float64, elems))
+	if resp.ModelName != spec.Name {
+		t.Fatalf("inline model served as %q", resp.ModelName)
+	}
+
+	code, _ = postJSON(t, ts.URL+"/v2/repository/models/WrongName/load", string(body))
+	if code != 400 {
+		t.Fatalf("name-mismatched inline load: code %d, want 400", code)
+	}
+}
+
+// TestAdminBudgetConflict: a hot-load that cannot fit the server's RAM
+// budget is rejected with a structured 409, and the index is untouched.
+func TestAdminBudgetConflict(t *testing.T) {
+	// Budget sized to the boot model's batch-1 arena: nothing else fits.
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	entry, err := reg.Get("DSCNN-S", ModelOptions{Seed: 42, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tflm.PlanMemory(entry.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Models:         []string{"DSCNN-S"},
+		Options:        ModelOptions{Seed: 42, AppendSoftmax: true},
+		PoolSize:       1,
+		Batch:          BatcherConfig{MaxBatch: 1},
+		RAMBudgetBytes: plan.ArenaBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	code, body := postJSON(t, ts.URL+"/v2/repository/models/MicroNet-KWS-S/load", "")
+	if code != http.StatusConflict {
+		t.Fatalf("over-budget load: code %d, want 409 (%v)", code, body)
+	}
+	if body["code"] != "ram_budget_exceeded" || body["model"] != "MicroNet-KWS-S" {
+		t.Fatalf("409 body missing structured fields: %v", body)
+	}
+	if body["needed_bytes"].(float64) <= 0 || body["budget_bytes"].(float64) != float64(plan.ArenaBytes) {
+		t.Fatalf("409 byte accounting wrong: %v", body)
+	}
+	if idx := repoIndex(t, ts.URL); len(idx) != 1 || idx["MicroNet-KWS-S"] != nil {
+		t.Fatalf("rejected load leaked into the index: %v", idx)
+	}
+}
+
+// TestAdminLoadPartialOptions: an options object that only sets some
+// fields must inherit the server's lowering for the rest. The detector:
+// on a softmax-less server, a seed-only options body must hash to the
+// SAME registry key as the boot load (idempotent, still version 1) — an
+// options object that resets unspecified fields would flip softmax back
+// on and trigger a spurious blue/green swap to version 2.
+func TestAdminLoadPartialOptions(t *testing.T) {
+	s, err := New(Config{
+		Models:  []string{"DSCNN-S"},
+		Options: ModelOptions{Seed: 42, AppendSoftmax: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	code, st := postJSON(t, ts.URL+"/v2/repository/models/DSCNN-S/load", `{"options":{"seed":42}}`)
+	if code != 200 {
+		t.Fatalf("partial-options load: code %d (%v)", code, st)
+	}
+	if st["version"].(float64) != 1 {
+		t.Fatalf("seed-only options did not inherit the server lowering: swapped to version %v", st["version"])
+	}
+	// And an explicit override still works: a different seed IS a swap.
+	code, st = postJSON(t, ts.URL+"/v2/repository/models/DSCNN-S/load", `{"options":{"seed":7}}`)
+	if code != 200 || st["version"].(float64) != 2 {
+		t.Fatalf("explicit seed override: code %d status %v, want version 2", code, st)
+	}
+}
+
+// TestAdminInlinePublishRollsBackOnBudgetReject: a 409'd inline publish
+// must leave the zoo catalogue untouched — no name registered, so a
+// later by-name load cannot resolve the rejected spec.
+func TestAdminInlinePublishRollsBackOnBudgetReject(t *testing.T) {
+	reg := NewRegistry(RegistryConfig{PoolSize: 1})
+	entry, err := reg.Get("DSCNN-S", ModelOptions{Seed: 42, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tflm.PlanMemory(entry.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Models:         []string{"DSCNN-S"},
+		Options:        ModelOptions{Seed: 42, AppendSoftmax: true},
+		PoolSize:       1,
+		Batch:          BatcherConfig{MaxBatch: 1},
+		RAMBudgetBytes: plan.ArenaBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	big, _ := zoo.Get("MicroNet-KWS-S")
+	spec := *big.Spec
+	spec.Name = "Inline-Rollback-Test"
+	t.Cleanup(func() { zoo.Unregister(spec.Name) })
+	body, _ := json.Marshal(map[string]any{"spec": &spec})
+	code, resp := postJSON(t, ts.URL+"/v2/repository/models/Inline-Rollback-Test/load", string(body))
+	if code != http.StatusConflict {
+		t.Fatalf("over-budget inline publish: code %d (%v)", code, resp)
+	}
+	if _, err := zoo.Get(spec.Name); err == nil {
+		t.Fatal("rejected inline publish left the spec registered in the zoo")
+	}
+}
+
+// TestLoadSpecFilePartialFailure: one over-budget spec in a multi-spec
+// export must not stop the rest of the file from loading.
+func TestLoadSpecFilePartialFailure(t *testing.T) {
+	small, _ := zoo.Get("DSCNN-S")
+	big, _ := zoo.Get("MicroNet-KWS-S")
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+	smallSpec := *small.Spec
+	smallSpec.Name = "SpecFile-Partial-Small"
+	bigSpec := *big.Spec
+	bigSpec.Name = "SpecFile-Partial-Big"
+	t.Cleanup(func() {
+		zoo.Unregister(smallSpec.Name)
+		zoo.Unregister(bigSpec.Name)
+	})
+	path := t.TempDir() + "/frontier.json"
+	writeTestSpecFile(t, path, &bigSpec, &smallSpec) // over-budget spec FIRST
+
+	small2 := testSpec(t, "DSCNN-S")
+	r := NewRepository(RepositoryConfig{
+		Logger:         discardLogger(),
+		RAMBudgetBytes: arenaBytesAt(t, small2, opts, 1),
+		PoolSize:       1,
+		Batch:          BatcherConfig{MaxBatch: 1},
+	})
+	defer r.Close()
+	statuses, err := r.LoadSpecFile(path, opts)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Model != bigSpec.Name {
+		t.Fatalf("want a joined BudgetError for %s, got %v", bigSpec.Name, err)
+	}
+	if len(statuses) != 1 || statuses[0].Name != smallSpec.Name || statuses[0].State != StateReady {
+		t.Fatalf("the fitting spec after the failing one did not load: %+v", statuses)
+	}
+}
+
+// TestAdminDisabled: DisableAdmin removes the control plane but not the
+// data plane.
+func TestAdminDisabled(t *testing.T) {
+	s, err := New(Config{
+		Models:       []string{"DSCNN-S"},
+		Options:      ModelOptions{Seed: 42, AppendSoftmax: true},
+		DisableAdmin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	resp, err := http.Get(ts.URL + "/v2/repository/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("admin index with DisableAdmin: status %d, want 404", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/v2/models/DSCNN-S", 200)
+}
+
 // TestDuplicateModelNames: a repeated name in Config.Models must not
-// start (and leak) a second batcher for the same model.
+// load (and leak) a second version of the same model — the repository's
+// idempotent load collapses it, without even re-lowering the graph.
 func TestDuplicateModelNames(t *testing.T) {
 	s, err := New(Config{
 		Models:  []string{"MicroNet-KWS-S", "MicroNet-KWS-S"},
@@ -335,8 +653,11 @@ func TestDuplicateModelNames(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if len(s.models) != 1 {
-		t.Fatalf("loaded %d models for a duplicated name, want 1", len(s.models))
+	if idx := s.repo.Index(); len(idx) != 1 || idx[0].Version != 1 {
+		t.Fatalf("duplicated name yielded index %+v, want one version-1 entry", idx)
+	}
+	if n := s.repo.Lowerings(); n != 1 {
+		t.Fatalf("duplicated name lowered %d times, want 1", n)
 	}
 }
 

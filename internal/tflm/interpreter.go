@@ -47,6 +47,16 @@ func NewInterpreterWithEngine(m *graph.Model, arenaLimit int, eng kernels.Engine
 			return nil, fmt.Errorf("tflm: model %s: operator %s not supported by the runtime", m.Name, op.Kind)
 		}
 	}
+	for _, t := range m.Tensors {
+		// 4-bit activations pack two per byte in the memory plan (that is
+		// the point of the §5.1.3 emulation — smaller arenas), but the
+		// host kernels execute one int8 element per byte, so such models
+		// are planner/latency artifacts, not executable here. Refuse
+		// cleanly rather than slicing past the packed arena.
+		if t.Bits == 4 {
+			return nil, fmt.Errorf("tflm: model %s: 4-bit activations are a memory/latency emulation; the host runtime executes int8 only", m.Name)
+		}
+	}
 	plan, err := PlanMemory(m)
 	if err != nil {
 		return nil, err

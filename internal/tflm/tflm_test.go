@@ -152,6 +152,35 @@ func TestInterpreterRejectsTransposedConv(t *testing.T) {
 	}
 }
 
+// TestInterpreterRejectsFourBitActivations: 4-bit activations pack two
+// per byte in the arena plan but the kernels execute one element per
+// byte, so construction must fail cleanly (it used to panic slicing past
+// the packed arena). 4-bit weights only are still executable.
+func TestInterpreterRejectsFourBitActivations(t *testing.T) {
+	e, err := zoo.Get("DSCNN-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(6)), graph.LowerOptions{ActBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterpreter(m4, 0); err == nil {
+		t.Fatal("4-bit-activation model must be rejected, not panic")
+	}
+	w4, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(6)), graph.LowerOptions{WeightBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterpreter(w4, 0)
+	if err != nil {
+		t.Fatalf("4-bit weights with 8-bit activations must stay executable: %v", err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestExportedModelMatchesFloat is the end-to-end int8 correctness test:
 // train a tiny model (a few steps so weights are non-trivial), export it
 // through BN folding + per-channel quantization, and verify the int8

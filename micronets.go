@@ -17,6 +17,7 @@ package micronets
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand"
@@ -127,7 +128,12 @@ func DeployModel(spec *arch.Spec, m *graph.Model, dev *mcu.Device) (*Deployment,
 	d.FitsErr = report.FitsDevice(dev.SRAMBytes(), dev.FlashBytes())
 	for _, op := range m.Ops {
 		if op.Kind == graph.OpTransposedConv {
-			d.FitsErr = fmt.Errorf("micronets: %s uses %s, unsupported by the runtime", m.Name, op.Kind)
+			// Join rather than overwrite: a model can both overflow the
+			// device and use an unsupported operator, and callers deserve
+			// to see every reason it is not deployable.
+			d.FitsErr = errors.Join(d.FitsErr,
+				fmt.Errorf("micronets: %s uses %s, unsupported by the runtime", m.Name, op.Kind))
+			break
 		}
 	}
 	return d, nil
@@ -172,8 +178,11 @@ func ClassifyBatch(spec *arch.Spec, opts DeployOptions, xs []*tensor.Tensor) ([]
 	return entry.ClassifyBatch(xs)
 }
 
-// Preload warms the ClassifyBatch registry for a set of zoo models, so a
-// serving or evaluation loop's first request pays no lowering latency.
+// Preload warms the ClassifyBatch cache for a set of zoo models, so an
+// evaluation loop's first call pays no lowering latency. It is a
+// compatibility shim over the registry cache that backs ClassifyBatch;
+// serving processes should manage model lifecycles through a Repository
+// (NewRepository / ServeOptions.Repository) instead.
 func Preload(names []string, opts DeployOptions) error {
 	return classifyRegistry.Preload(names, modelOptions(opts))
 }
@@ -188,41 +197,175 @@ func ClassifyModelBatch(m *graph.Model, xs []*tensor.Tensor) ([]int, []float32, 
 	return ip.ClassifyBatch(xs)
 }
 
+// ---- model repository: the serving control plane ----
+
+// ModelStatus is a snapshot of one model version in a Repository: name,
+// version number, lifecycle state, and the budget-planned capacity
+// (pool size, max batch, arena reservation). It is also the row format
+// of the GET /v2/repository/index admin endpoint.
+type ModelStatus = serve.ModelStatus
+
+// Model lifecycle states (see serve.ModelState).
+const (
+	StateLoading  = serve.StateLoading
+	StateReady    = serve.StateReady
+	StateDraining = serve.StateDraining
+	StateUnloaded = serve.StateUnloaded
+)
+
+// RepositoryOptions configures NewRepository.
+type RepositoryOptions struct {
+	// RAMBudgetBytes bounds the summed planned arena bytes across every
+	// loaded model version (0 = unbudgeted). Set it to a device-class
+	// SRAM size — e.g. 320*1024 to emulate DeviceM — and the repository
+	// sizes each model's pool and micro-batch from what fits, rejecting
+	// loads that would not (serve.BudgetError).
+	RAMBudgetBytes int
+	// PoolSize is the desired interpreter replicas per model (default 2);
+	// a budget may scale it down per model, never up.
+	PoolSize int
+	// MaxBatch and MaxDelay bound the micro-batching window (defaults 8
+	// and 2ms); a budget may scale MaxBatch down per model.
+	MaxBatch int
+	MaxDelay time.Duration
+	// Logger receives lifecycle events.
+	Logger *slog.Logger
+	// Deploy is the default lowering for LoadModel/LoadSpecFile/Watch.
+	Deploy DeployOptions
+}
+
+// Repository is the versioned model store behind the serving API: it
+// owns load/unload/swap lifecycles, keyed by spec fingerprint + quant
+// options, with blue/green version swaps (the old version drains only
+// after the new one is ready) and RAM-budgeted capacity planning via
+// tflm.PlanMemoryBatch. Pass one to ServeOptions.Repository to drive a
+// live server programmatically, or let Serve build its own and drive it
+// over the /v2/repository admin endpoints.
+type Repository struct{ inner *serve.Repository }
+
+// NewRepository returns an empty repository.
+func NewRepository(opts RepositoryOptions) *Repository {
+	return &Repository{inner: serve.NewRepository(serve.RepositoryConfig{
+		RAMBudgetBytes: opts.RAMBudgetBytes,
+		PoolSize:       opts.PoolSize,
+		Batch:          serve.BatcherConfig{MaxBatch: opts.MaxBatch, MaxDelay: opts.MaxDelay},
+		Options:        modelOptions(opts.Deploy),
+		Logger:         opts.Logger,
+	})}
+}
+
+// Load publishes spec as the serving version of spec.Name — lowering,
+// budget planning, pool warm-up, then a blue/green swap if an older
+// version was serving. Re-loading an identical spec+options is an
+// idempotent no-op. An over-budget load fails with *serve.BudgetError.
+func (r *Repository) Load(spec *arch.Spec, opts DeployOptions) (ModelStatus, error) {
+	return r.inner.Load(spec, modelOptions(opts))
+}
+
+// LoadModel is Load for a zoo catalogue name (including search exports
+// registered at runtime).
+func (r *Repository) LoadModel(name string, opts DeployOptions) (ModelStatus, error) {
+	return r.inner.LoadZoo(name, modelOptions(opts))
+}
+
+// LoadSpecFile registers a cmd/search -export file into the zoo and
+// loads every spec in it — the restartless -specs.
+func (r *Repository) LoadSpecFile(path string, opts DeployOptions) ([]ModelStatus, error) {
+	return r.inner.LoadSpecFile(path, modelOptions(opts))
+}
+
+// Swap is Load restricted to names already serving: an explicit
+// redeploy, failing with *serve.NotLoadedError otherwise.
+func (r *Repository) Swap(spec *arch.Spec, opts DeployOptions) (ModelStatus, error) {
+	return r.inner.Swap(spec, modelOptions(opts))
+}
+
+// Unload drains the serving version of a name and retires it; in-flight
+// inferences finish first.
+func (r *Repository) Unload(name string) error { return r.inner.Unload(name) }
+
+// Index reports every live version (READY, LOADING, DRAINING), sorted by
+// name then newest first.
+func (r *Repository) Index() []ModelStatus { return r.inner.Index() }
+
+// Watch polls spec files (or directories of *.json spec files) and
+// hot-loads new or changed exports until ctx is done — run it in a
+// goroutine next to Serve to make `cmd/search -export` output servable
+// with zero restarts.
+func (r *Repository) Watch(ctx context.Context, paths []string, interval time.Duration, opts DeployOptions) {
+	r.inner.WatchSpecs(ctx, paths, interval, modelOptions(opts))
+}
+
+// Close drains every model version and rejects further loads.
+func (r *Repository) Close() { r.inner.Close() }
+
 // ServeOptions configures the HTTP inference server (see internal/serve
-// for the subsystem: model registry → interpreter pools → adaptive
+// for the subsystem: model repository → interpreter pools → adaptive
 // micro-batcher → kernels engine).
 type ServeOptions struct {
 	// Addr is the listen address (default ":8151").
 	Addr string
-	// Models are zoo names to preload; empty serves every
-	// runtime-servable catalogue model.
+	// Repository, when set, is the control plane the server serves from
+	// — the caller keeps its lifecycle and may Load/Unload concurrently
+	// with live traffic. When nil the server builds and owns one.
+	Repository *Repository
+	// Models are zoo names to load at boot; empty serves every
+	// runtime-servable catalogue model (when the repository starts
+	// empty), skipping models that exceed the RAM budget.
 	Models []string
-	// PoolSize is pre-warmed interpreters per model (default 2).
+	// PoolSize is desired pre-warmed interpreters per model (default 2).
 	PoolSize int
 	// MaxBatch and MaxDelay bound the micro-batching window (defaults 8
 	// and 2ms).
 	MaxBatch int
 	MaxDelay time.Duration
+	// RAMBudgetBytes bounds summed planned arena bytes across all loaded
+	// models (0 = unbudgeted). Ignored when Repository is set.
+	RAMBudgetBytes int
+	// SkipOverBudget makes the boot Models list best-effort under a RAM
+	// budget: models that cannot fit are skipped with a warning instead
+	// of failing startup. Set for catalogue-wide boots.
+	SkipOverBudget bool
+	// DisableAdmin turns off the /v2/repository endpoints, freezing the
+	// model set at the boot list.
+	DisableAdmin bool
+	// WatchSpecs lists spec files or directories of *.json spec files to
+	// poll and hot-load on change; the watcher starts after the boot
+	// loads (so it never races them for budget) and stops with the
+	// server. WatchInterval defaults to 2s.
+	WatchSpecs    []string
+	WatchInterval time.Duration
 	// Logger receives one structured line per request.
 	Logger *slog.Logger
-	// Deploy selects the lowering (bits, seed, softmax) for every model.
+	// Deploy selects the default lowering (bits, seed, softmax).
 	Deploy DeployOptions
 }
 
 func (o ServeOptions) config() serve.Config {
-	return serve.Config{
-		Models:   o.Models,
-		Options:  modelOptions(o.Deploy),
-		PoolSize: o.PoolSize,
-		Batch:    serve.BatcherConfig{MaxBatch: o.MaxBatch, MaxDelay: o.MaxDelay},
-		Logger:   o.Logger,
+	cfg := serve.Config{
+		Models:         o.Models,
+		Options:        modelOptions(o.Deploy),
+		PoolSize:       o.PoolSize,
+		Batch:          serve.BatcherConfig{MaxBatch: o.MaxBatch, MaxDelay: o.MaxDelay},
+		RAMBudgetBytes: o.RAMBudgetBytes,
+		SkipOverBudget: o.SkipOverBudget,
+		DisableAdmin:   o.DisableAdmin,
+		WatchSpecs:     o.WatchSpecs,
+		WatchInterval:  o.WatchInterval,
+		Logger:         o.Logger,
 	}
+	if o.Repository != nil {
+		cfg.Repository = o.Repository.inner
+	}
+	return cfg
 }
 
-// Serve preloads the requested models and serves the KServe-v2-style
-// inference protocol (/v2/health/*, /v2/models, /v2/models/{name}/infer,
-// /metrics) until ctx is cancelled, then drains gracefully. This is the
-// long-lived serving path behind cmd/serve.
+// Serve loads the requested models into the repository and serves the
+// KServe-v2-style inference protocol (/v2/health/*, /v2/models,
+// /v2/models/{name}/infer, /metrics) plus the /v2/repository admin
+// control plane until ctx is cancelled, then drains gracefully. This is
+// the long-lived serving path behind cmd/serve, and a thin shim over the
+// Repository lifecycle API.
 func Serve(ctx context.Context, opts ServeOptions) error {
 	srv, err := serve.New(opts.config())
 	if err != nil {
@@ -237,9 +380,15 @@ func Serve(ctx context.Context, opts ServeOptions) error {
 
 // ServeHandler returns the fully warmed inference handler without binding
 // a listener — for embedding the serving surface into an existing HTTP
-// server or tests. The caller owns the returned server's lifecycle; call
-// its Close to drain the batchers.
+// server or tests. Like Serve it is a shim over the Repository control
+// plane. The caller owns the returned server's lifecycle; call its Close
+// to drain. WatchSpecs is rejected here: the watcher needs a serving
+// lifecycle to stop with, so embedders run Repository.Watch themselves
+// on a context they own.
 func ServeHandler(opts ServeOptions) (http.Handler, *serve.Server, error) {
+	if len(opts.WatchSpecs) > 0 {
+		return nil, nil, errors.New("micronets: ServeHandler does not run the spec watcher; use Serve, or run Repository.Watch on your own context")
+	}
 	srv, err := serve.New(opts.config())
 	if err != nil {
 		return nil, nil, err

@@ -8,7 +8,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"micronets/internal/arch"
 	"micronets/internal/graph"
 	"micronets/internal/tensor"
 	"micronets/internal/tflm"
@@ -52,6 +54,38 @@ func TestDeployNotFitting(t *testing.T) {
 	}
 	if dep.FitsErr == nil {
 		t.Fatal("KWS-L must not fit the small MCU (Table 4)")
+	}
+}
+
+// TestDeployModelJoinsFitAndUnsupportedErrors: a model that BOTH
+// overflows the device SRAM and uses a transposed conv must report both
+// problems — the unsupported-op check used to silently overwrite the
+// FitsDevice error.
+func TestDeployModelJoinsFitAndUnsupportedErrors(t *testing.T) {
+	// 64x64x1 input into a 256-channel stride-1 conv: the activation
+	// arena alone (64*64*256 = 1 MB) overflows every device class; the
+	// trailing transposed conv is unsupported by the runtime.
+	spec := &arch.Spec{
+		Name: "overflow-tconv-test", Task: "ad", Source: "repro",
+		InputH: 64, InputW: 64, InputC: 1, NumClasses: 0,
+		Blocks: []arch.Block{
+			{Kind: arch.Conv, KH: 3, KW: 3, OutC: 256, Stride: 1},
+			{Kind: arch.TransposedConv, KH: 3, KW: 3, OutC: 1, Stride: 2},
+		},
+	}
+	dep, err := Deploy(spec, DeviceS, DeployOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.FitsErr == nil {
+		t.Fatal("model must not be deployable")
+	}
+	msg := dep.FitsErr.Error()
+	if !strings.Contains(msg, "does not fit") {
+		t.Fatalf("FitsErr lost the SRAM overflow: %q", msg)
+	}
+	if !strings.Contains(msg, "unsupported by the runtime") {
+		t.Fatalf("FitsErr lost the unsupported-op report: %q", msg)
 	}
 }
 
@@ -182,6 +216,97 @@ func TestClassifyBatchAmortizesLowering(t *testing.T) {
 	if c1[0] != wantC[0] || s1[0] != wantS[0] {
 		t.Fatalf("cached ClassifyBatch (%d, %f) diverged from fresh lowering (%d, %f)",
 			c1[0], s1[0], wantC[0], wantS[0])
+	}
+}
+
+// TestRepositoryFacadeEndToEnd: the public Repository API drives a live
+// server — load two models into a caller-owned repository, serve through
+// ServeOptions.Repository, hot-swap and unload while the handler stays
+// up, and observe every transition through Index.
+func TestRepositoryFacadeEndToEnd(t *testing.T) {
+	repo := NewRepository(RepositoryOptions{
+		PoolSize: 1,
+		Deploy:   DeployOptions{Seed: 42, AppendSoftmax: true},
+	})
+	defer repo.Close()
+	if _, err := repo.LoadModel("MicroNet-KWS-S", DeployOptions{Seed: 42, AppendSoftmax: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	h, srv, err := ServeHandler(ServeOptions{
+		Repository: repo,
+		Models:     []string{"DSCNN-S"}, // loads into the injected repo
+		Deploy:     DeployOptions{Seed: 42, AppendSoftmax: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	idx := repo.Index()
+	if len(idx) != 2 {
+		t.Fatalf("index has %d entries, want 2: %+v", len(idx), idx)
+	}
+	for _, st := range idx {
+		if st.State != StateReady || st.PoolSize != 1 {
+			t.Fatalf("boot entry not READY/pool-1: %+v", st)
+		}
+	}
+
+	// Hot-swap KWS-S to a different seed through the public API while the
+	// HTTP surface is live, then verify the data path still answers.
+	spec, err := Model("MicroNet-KWS-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := repo.Swap(spec, DeployOptions{Seed: 7, AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 2 || st.State != StateReady {
+		t.Fatalf("swap status %+v, want READY version 2", st)
+	}
+	body := `{"inputs":[{"name":"input","datatype":"FP32","data":[` +
+		strings.Repeat("0.5,", 489) + `0.5]}]}`
+	resp, err := http.Post(ts.URL+"/v2/models/MicroNet-KWS-S/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("infer after swap: status %d", resp.StatusCode)
+	}
+
+	// Unload through the public API: the HTTP surface 404s the name once
+	// the drain completes, without the server restarting.
+	if err := repo.Unload("DSCNN-S"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("DSCNN-S never drained out of the index")
+		}
+		found := false
+		for _, st := range repo.Index() {
+			if st.Name == "DSCNN-S" {
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	r2, err := http.Get(ts.URL + "/v2/models/DSCNN-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != 404 {
+		t.Fatalf("metadata of unloaded model: status %d, want 404", r2.StatusCode)
 	}
 }
 

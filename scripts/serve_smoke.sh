@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# serve_smoke.sh — build cmd/serve, boot it in the background, and prove
-# one real /v2 round-trip: readiness, model metadata, and an infer POST
-# whose response carries an argmax class. Also runs the two-stage NAS
-# harness first (search_smoke.sh: 64 proxy trials + trained finalist
-# re-rank) and proves that an exported frontier model is servable through
-# the same /v2 protocol. Used by `make serve-smoke` and the CI
-# serve-smoke job (keep the two in sync by editing only this file).
+# serve_smoke.sh — build cmd/serve, boot it in the background under a
+# device-class RAM budget, and prove the full serving story end to end:
+# readiness, model metadata, a real infer POST, and the model-repository
+# control plane — a frontier spec exported by the NAS search (run first
+# via search_smoke.sh) is hot-loaded through POST /v2/repository/.../load
+# and served WITHOUT any restart, an over-budget load is rejected with a
+# structured 409, and an unload drains the model back out of the index.
+# Used by `make serve-smoke` and the CI serve-smoke job (keep the two in
+# sync by editing only this file).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +25,11 @@ echo "search OK: exported frontier model $NAS_MODEL"
 
 go build -o "$BIN" ./cmd/serve
 
-"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S,$NAS_MODEL" -specs "$WORK/frontier.json" -log json &
+# Boot WITHOUT the searched model: it arrives later through the admin
+# API. The 512KB budget emulates the large MCU: pool sizes and max batch
+# are planned per model from tflm.PlanMemoryBatch, and it leaves room for
+# the NAS model but NOT for MicroNet-AD-L (353KB arena at batch 1).
+"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S" -ram-budget 512KB -pool 1 -max-batch 4 -log json &
 PID=$!
 cleanup() { kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -37,9 +43,18 @@ done
 curl -fsS "http://$ADDR/v2/health/ready" | jq -e '.ready == true' >/dev/null
 echo "ready OK"
 
-curl -fsS "http://$ADDR/v2/models" | jq -e '.models | length == 3' >/dev/null
+curl -fsS "http://$ADDR/v2/models" | jq -e '.models | length == 2' >/dev/null
 curl -fsS "http://$ADDR/v2/models/$MODEL" | jq -e '.inputs[0].shape == [49,10,1]' >/dev/null
 echo "metadata OK"
+
+# The repository index carries per-version state plus the budget-planned
+# RAM/flash columns.
+INDEX=$(curl -fsS "http://$ADDR/v2/repository/index")
+echo "$INDEX" | jq -e '.models | length == 2' >/dev/null
+echo "$INDEX" | jq -e --arg m "$MODEL" \
+    '.models[] | select(.name == $m) | .state == "READY" and .planned_ram_bytes > 0 and .flash_bytes > 0 and .pool_size >= 1' >/dev/null
+echo "$INDEX" | jq -e '.ram_budget_bytes == 524288 and .ram_planned_bytes > 0 and .ram_planned_bytes <= .ram_budget_bytes' >/dev/null
+echo "repository index OK: $(echo "$INDEX" | jq -c '[.models[] | {name, state, pool_size, max_batch}]')"
 
 PAYLOAD=$(jq -n '{inputs:[{name:"input",shape:[49,10,1],datatype:"FP32",data:[range(490)|0.25]}]}')
 RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
@@ -48,14 +63,53 @@ echo "$RESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1'
 echo "$RESP" | jq -e '.outputs[] | select(.name=="scores") | .data | length == 12' >/dev/null
 echo "infer OK: class $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]') score $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="score") | .data[0]]')"
 
-# The searched architecture serves through the identical protocol.
+# --- Hot-load the searched model through the control plane: the running
+# server picks it up from the exported spec file, plans it against the
+# budget, and serves it — the acceptance criterion's "no restart" path.
+curl -fsS "http://$ADDR/v2/models/$NAS_MODEL" -o /dev/null -w '' 2>/dev/null \
+    && { echo "NAS model served before load?"; exit 1; } || true
+LOAD=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"spec_file\": \"$WORK/frontier.json\"}" \
+    "http://$ADDR/v2/repository/models/$NAS_MODEL/load")
+echo "$LOAD" | jq -e '.state == "READY" and .version == 1 and .planned_ram_bytes > 0' >/dev/null
+curl -fsS "http://$ADDR/v2/repository/index" | jq -e --arg m "$NAS_MODEL" \
+    '.models[] | select(.name == $m) | .state == "READY"' >/dev/null
 NAS_RESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
     -d "$PAYLOAD" "http://$ADDR/v2/models/$NAS_MODEL/infer")
 echo "$NAS_RESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1' >/dev/null
 echo "$NAS_RESP" | jq -e --arg m "$NAS_MODEL" '.model_name == $m' >/dev/null
-echo "NAS infer OK: $NAS_MODEL answered class $(echo "$NAS_RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]')"
+echo "hot-load OK: $NAS_MODEL served with zero restarts (class $(echo "$NAS_RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]'))"
 
-curl -fsS "http://$ADDR/metrics" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"} 1'
+# --- An over-budget load must be a structured 409, not an OOM: the AD-L
+# arena (353KB at batch 1) exceeds whatever the 512KB budget has left.
+CONFLICT_CODE=$(curl -s -o "$WORK/conflict.json" -w '%{http_code}' -X POST \
+    "http://$ADDR/v2/repository/models/MicroNet-AD-L/load")
+test "$CONFLICT_CODE" = "409"
+jq -e '.code == "ram_budget_exceeded" and .needed_bytes > 0 and .budget_bytes == 524288' "$WORK/conflict.json" >/dev/null
+echo "budget rejection OK: $(jq -c '{code, needed_bytes, budget_bytes, planned_bytes}' "$WORK/conflict.json")"
+
+# --- Unload drains DSCNN-S out of the index and the data path.
+curl -fsS -X POST "http://$ADDR/v2/repository/models/DSCNN-S/unload" | jq -e '.state == "DRAINING"' >/dev/null
+for _ in $(seq 1 100); do
+    if ! curl -fsS "http://$ADDR/v2/repository/index" | jq -e '.models[] | select(.name == "DSCNN-S")' >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v2/repository/index" | jq -e '[.models[] | select(.name == "DSCNN-S")] | length == 0' >/dev/null
+UNLOADED_CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v2/models/DSCNN-S")
+test "$UNLOADED_CODE" = "404"
+echo "unload OK: DSCNN-S drained out of the index"
+
+# --- Metrics expose the repository state: per-model version/pool/arena
+# gauges plus the budget pair.
+METRICS=$(curl -fsS "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"} 1'
+echo "$METRICS" | grep -q "micronets_serve_model_versions{model=\"$NAS_MODEL\"} 1"
+echo "$METRICS" | grep -q "micronets_serve_pool_size{model=\"$NAS_MODEL\"} "
+echo "$METRICS" | grep -q "micronets_serve_planned_arena_bytes{model=\"$NAS_MODEL\"} "
+echo "$METRICS" | grep -q 'micronets_serve_ram_budget_bytes 524288'
+echo "$METRICS" | grep -q 'micronets_serve_ram_planned_bytes '
 echo "metrics OK"
 
 # Graceful drain: SIGTERM must flip readiness and exit zero.
