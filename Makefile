@@ -25,6 +25,7 @@ lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+	./scripts/docs_lint.sh
 
 # serve runs the HTTP inference server on :8151 (all servable zoo models).
 .PHONY: serve

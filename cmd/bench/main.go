@@ -33,12 +33,15 @@ func main() {
 	searchLog := flag.String("search-log", "", "JSONL trial log for -exp search: a matching prior cmd/search run is resumed instead of re-evaluated")
 	finalists := flag.Int("finalists", 2, "frontier finalists the search experiment re-ranks with real training runs (0 disables)")
 	trainSteps := flag.Int("train-steps", 30, "training steps per search finalist")
+	graphRequests := flag.Int("graph-requests", 24, "mixed-traffic requests for -exp graph (cascade vs single large model)")
 	flag.Parse()
 
-	// engineRows/searchRows cache those experiments' measurements so -json
-	// serializes the exact run that was printed, not a second one.
+	// engineRows/searchRows/graphReport cache those experiments'
+	// measurements so -json serializes the exact run that was printed, not
+	// a second one.
 	var engineRows []experiments.EngineRow
 	var searchRows, finalistRows []experiments.SearchRow
+	var graphReport *experiments.GraphReport
 
 	runners := []struct {
 		id string
@@ -76,6 +79,14 @@ func main() {
 			finalistRows = experiments.FinalistRows(res)
 			return experiments.RenderSearchRows(rows, res), nil
 		}},
+		{"graph", func() (string, error) {
+			rep, err := experiments.GraphExperiment(*graphRequests, seed)
+			if err != nil {
+				return "", err
+			}
+			graphReport = rep
+			return experiments.RenderGraphReport(rep), nil
+		}},
 	}
 	ran := false
 	for _, r := range runners {
@@ -89,7 +100,7 @@ func main() {
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.id, out)
 		if *jsonOut {
-			if err := writeJSON(r.id, out, engineRows, searchRows, finalistRows); err != nil {
+			if err := writeJSON(r.id, out, engineRows, searchRows, finalistRows, graphReport); err != nil {
 				log.Fatalf("%s: write json: %v", r.id, err)
 			}
 		}
@@ -116,10 +127,12 @@ type engineJSONRow struct {
 // still diffable by machine. The search payload carries both the full
 // frontier (proxy-ranked) and the finalist re-rank (trained accuracy),
 // so the proxy-vs-trained gap is tracked across PRs.
-func writeJSON(id, report string, rows []experiments.EngineRow, searchRows, finalistRows []experiments.SearchRow) error {
+func writeJSON(id, report string, rows []experiments.EngineRow, searchRows, finalistRows []experiments.SearchRow, graphReport *experiments.GraphReport) error {
 	path := fmt.Sprintf("BENCH_%s.json", id)
 	var payload any
-	if id == "search" && searchRows != nil {
+	if id == "graph" && graphReport != nil {
+		payload = map[string]any{"experiment": id, "cascade": graphReport}
+	} else if id == "search" && searchRows != nil {
 		if finalistRows == nil {
 			finalistRows = []experiments.SearchRow{}
 		}

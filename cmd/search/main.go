@@ -53,6 +53,9 @@ func main() {
 	exportPath := flag.String("export", "search_frontier.json", "spec file for the exported frontier; empty disables")
 	exportTop := flag.Int("export-top", 0, "export at most N frontier models, spread across the latency range (0 = all)")
 	publish := flag.String("publish", "", "base URL of a running serve instance (e.g. http://localhost:8151) to hot-load the exported frontier into, no restart")
+	exportCascade := flag.String("export-cascade", "", "also write a cascade graph spec (PUT /v2/graphs body) built from the exported frontier")
+	cascadeStages := flag.Int("cascade-stages", 3, "stages in the exported cascade, spread fast to slow across the frontier")
+	cascadeThreshold := flag.Float64("cascade-threshold", 0.7, "early-exit confidence of the exported cascade's non-final stages")
 	mutateFrac := flag.Float64("mutate-frac", 0.5, "fraction of trials mutating a frontier member (0 disables mutation)")
 	flag.Parse()
 
@@ -125,7 +128,7 @@ func main() {
 		log.Fatal("no feasible candidates; loosen the budgets or raise -trials")
 	}
 
-	if *exportPath != "" || *publish != "" {
+	if *exportPath != "" || *publish != "" || *exportCascade != "" {
 		// Points are latency-sorted; an even spread covers the whole
 		// frontier, not just its fast end.
 		exported := search.SpreadPoints(pts, *exportTop)
@@ -140,6 +143,20 @@ func main() {
 			}
 			fmt.Printf("\nexported %d frontier models to %s (serve with: serve -specs %s -models %s)\n",
 				len(names), *exportPath, *exportPath, strings.Join(names, ","))
+		}
+		if *exportCascade != "" {
+			// The cascade spans the *exported* points — its stage names are
+			// the spec-file names a server loads, so the two files travel
+			// together.
+			spec, err := search.ExportCascade(exported, prefix, *cascadeThreshold, *cascadeStages)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := search.WriteCascadeFile(*exportCascade, spec); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("exported a %d-stage cascade graph to %s (register with: curl -X PUT .../v2/graphs/%s -d @%s)\n",
+				len(spec.Root.Children), *exportCascade, spec.Name, *exportCascade)
 		}
 		if *publish != "" {
 			// Hot-load the frontier into the running server through its

@@ -12,7 +12,7 @@
 //	                                        # max batch planned from what fits; models
 //	                                        # over budget skipped (boot) or 409'd (admin)
 //	serve -watch-specs frontier.json        # hot-load cmd/search exports on change
-//	serve -no-admin                         # freeze the model set at the boot list
+//	serve -no-admin                         # freeze the model and graph sets at boot
 //
 // Endpoints:
 //
@@ -21,6 +21,10 @@
 //	POST /v2/models/{name}/infer
 //	GET  /v2/repository/index
 //	POST /v2/repository/models/{name}/load | .../unload
+//	GET  /v2/graphs | /v2/graphs/{name}
+//	PUT  /v2/graphs/{name}        (register an inference graph)
+//	DELETE /v2/graphs/{name}
+//	POST /v2/graphs/{name}/infer  (route through cascades/ensembles/splits)
 //	GET  /metrics
 //
 // SIGINT/SIGTERM triggers a graceful drain: readiness fails first, then
@@ -51,7 +55,7 @@ func main() {
 	watchSpecs := flag.String("watch-specs", "", "comma-separated spec files or directories to poll and hot-load on change")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "poll interval for -watch-specs")
 	ramBudget := flag.String("ram-budget", "0", "RAM budget for planned arenas across all models (e.g. 320KB to emulate DeviceM; 0 = unbudgeted)")
-	noAdmin := flag.Bool("no-admin", false, "disable the /v2/repository control-plane endpoints")
+	noAdmin := flag.Bool("no-admin", false, "disable the /v2/repository and graph-mutation control-plane endpoints")
 	pool := flag.Int("pool", 2, "desired interpreters per model (a RAM budget may scale this down)")
 	maxBatch := flag.Int("max-batch", 8, "max requests coalesced into one InvokeBatch call (a RAM budget may scale this down)")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait for the micro-batch window to fill")

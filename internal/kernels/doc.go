@@ -1,0 +1,11 @@
+// Package kernels implements the int8 (and emulated int4) reference
+// operator kernels used by the tflm interpreter — the reproduction of the
+// CMSIS-NN kernel layer, including its fixed-point requantization scheme
+// and the sub-byte kernels the paper adds in §5.1.3.
+//
+// Two interchangeable engines implement the same operator contract: a
+// straightforward reference engine (the correctness oracle) and a
+// GEMM-lowered engine that im2cols convolutions into matrix multiplies.
+// Both produce bit-identical outputs; cmd/bench -exp engine tracks the
+// speedup.
+package kernels

@@ -1,7 +1,3 @@
-// Package kernels implements the int8 (and emulated int4) reference
-// operator kernels used by the tflm interpreter — the reproduction of the
-// CMSIS-NN kernel layer, including its fixed-point requantization scheme
-// and the sub-byte kernels the paper adds in §5.1.3.
 package kernels
 
 import "math"

@@ -1,13 +1,3 @@
-// Package mcu simulates the three commodity STM32 microcontrollers the
-// paper characterizes (Table 1): latency via a per-kernel cycle-cost model
-// calibrated to the paper's measured throughputs, and energy via the
-// paper's empirical finding that power is workload-independent (§3.4).
-//
-// This package is the substitution for the physical dev boards (see
-// DESIGN.md): it reproduces the *mechanisms* behind the paper's claims —
-// per-layer cost spread that averages out over whole models (Fig. 3 vs 4),
-// the CMSIS-NN divisible-by-4 channel fast path (§3.2), dual-issue M7 vs
-// M4 (§3.1), and constant power (Fig. 5).
 package mcu
 
 import "fmt"

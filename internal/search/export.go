@@ -1,10 +1,12 @@
 package search
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
 	"micronets/internal/arch"
+	"micronets/internal/servegraph"
 	"micronets/internal/zoo"
 )
 
@@ -60,4 +62,50 @@ func WriteSpecFile(path string, file *zoo.SpecFile) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ExportCascade turns a searched Pareto frontier into a servable cascade
+// graph spec: up to stages points spread across the frontier (always
+// including the fastest and the most accurate), ordered fast→slow so
+// cheap models gate the expensive ones. Each stage name is the point's
+// ExportName — the cascade is meant to be registered on a server that
+// loaded the matching frontier export. threshold is the early-exit
+// confidence applied to every non-final stage.
+func ExportCascade(points []Point, prefix string, threshold float64, stages int) (*servegraph.Spec, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("search: cannot export a cascade from an empty frontier")
+	}
+	if stages < 2 {
+		stages = 2
+	}
+	picked := SpreadPoints(points, stages)
+	if len(picked) < 2 {
+		return nil, fmt.Errorf("search: a cascade needs at least 2 distinct frontier points, have %d", len(picked))
+	}
+	root := &servegraph.NodeSpec{Kind: servegraph.KindCascade, Name: "cascade", Threshold: threshold}
+	for i, p := range picked {
+		root.Children = append(root.Children, &servegraph.NodeSpec{
+			Kind:  servegraph.KindModel,
+			Name:  fmt.Sprintf("stage-%d", i),
+			Model: ExportName(prefix, p),
+		})
+	}
+	first, last := picked[0].Metrics, picked[len(picked)-1].Metrics
+	return &servegraph.Spec{
+		Name: prefix + "-cascade",
+		Description: fmt.Sprintf(
+			"Searched-frontier cascade: %d stages, gate %.1f ms → final %.1f ms, early-exit confidence %.2f",
+			len(picked), first.LatencyS*1e3, last.LatencyS*1e3, threshold),
+		Root: root,
+	}, nil
+}
+
+// WriteCascadeFile saves an exported cascade spec as the JSON body of
+// PUT /v2/graphs/{name}.
+func WriteCascadeFile(path string, spec *servegraph.Spec) error {
+	out, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

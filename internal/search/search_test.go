@@ -414,3 +414,51 @@ func TestExportFrontierRegistersInZoo(t *testing.T) {
 		}
 	}
 }
+
+func TestExportCascade(t *testing.T) {
+	// A hand-made latency-sorted frontier: 5 points, 1..5 ms.
+	var pts []Point
+	for i := 0; i < 5; i++ {
+		pts = append(pts, Point{Trial: i, Metrics: Metrics{LatencyS: float64(i+1) * 1e-3}})
+	}
+	spec, err := ExportCascade(pts, "NAS-kws-S", 0.8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "NAS-kws-S-cascade" {
+		t.Fatalf("cascade name %q", spec.Name)
+	}
+	root := spec.Root
+	if root.Kind != "cascade" || root.Threshold != 0.8 {
+		t.Fatalf("root = %+v", root)
+	}
+	if len(root.Children) != 3 {
+		t.Fatalf("stages = %d, want 3", len(root.Children))
+	}
+	// Fast → slow: endpoints included, trial indices map through ExportName.
+	want := []string{"NAS-kws-S-000", "NAS-kws-S-002", "NAS-kws-S-004"}
+	for i, c := range root.Children {
+		if c.Model != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, c.Model, want[i])
+		}
+		if c.Kind != "model" {
+			t.Fatalf("stage %d kind %q", i, c.Kind)
+		}
+	}
+
+	// Degenerate inputs.
+	if _, err := ExportCascade(nil, "p", 0.5, 3); err == nil {
+		t.Fatal("empty frontier must error")
+	}
+	if _, err := ExportCascade(pts[:1], "p", 0.5, 3); err == nil {
+		t.Fatal("single-point frontier must error (a cascade needs 2 stages)")
+	}
+	// stages below 2 is clamped up.
+	spec, err = ExportCascade(pts, "p", 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Root.Children) != 2 {
+		t.Fatalf("clamped stages = %d, want 2", len(spec.Root.Children))
+	}
+}

@@ -1,0 +1,23 @@
+// Package serve is the HTTP inference-serving subsystem: a KServe-v2-style
+// JSON protocol (health, model listing, metadata, infer) layered over the
+// repo's int8 TFLM-style runtime. The data path is
+//
+//	repository → interpreter pool → micro-batcher → kernels engine
+//
+// A Repository is the versioned control plane: it lowers each requested
+// architecture once (cached by spec fingerprint + lowering options),
+// pre-warms planned interpreter pools so concurrent requests never share
+// an arena, blue/green-swaps new versions under a RAM budget, and drains
+// retired versions without failing in-flight requests. A Batcher
+// coalesces concurrent requests for the same model into single
+// InvokeBatch calls under an adaptive gather window. The models served
+// are the MicroNets/MCUNet-class tiny networks of the paper, whose
+// per-request cost is small enough that aggressive micro-batching is
+// essentially free latency-wise.
+//
+// On top of single models, the server mounts the /v2/graphs surface of
+// internal/servegraph: declarative inference graphs (cascades, ensembles,
+// weighted splits, switches) routed in-process over the same repository,
+// with an unload guard so a model referenced by a registered graph cannot
+// be dropped out from under it.
+package serve

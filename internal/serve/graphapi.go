@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"micronets/internal/graph"
+	"micronets/internal/servegraph"
+)
+
+// ModelInUseError rejects an Unload of a model that something — an
+// inference graph — still references. The admin API renders it as a
+// structured 409: delete or re-point the holders first.
+type ModelInUseError struct {
+	Model string
+	// Holders names the graphs referencing the model.
+	Holders []string
+}
+
+func (e *ModelInUseError) Error() string {
+	return fmt.Sprintf("serve: model %q is referenced by graph(s) %s; delete them before unloading",
+		e.Model, strings.Join(e.Holders, ", "))
+}
+
+// graphBackend adapts Repository to servegraph.Backend: resolve a serving
+// version's metadata, and run one float row through its micro-batcher
+// with the model's own input quantization.
+type graphBackend struct{ repo *Repository }
+
+// GraphBackend returns the servegraph routing surface of a repository —
+// the backend a servegraph.Registry routes over.
+func GraphBackend(r *Repository) servegraph.Backend { return graphBackend{repo: r} }
+
+func (b graphBackend) ModelInfo(name string) (servegraph.ModelInfo, error) {
+	v, release, err := b.repo.acquire(name)
+	if err != nil {
+		return servegraph.ModelInfo{}, err
+	}
+	defer release()
+	mod := v.entry.Model
+	in, out := mod.Tensors[mod.Input], mod.Tensors[mod.Output]
+	return servegraph.ModelInfo{
+		Name:        v.name,
+		Version:     v.num,
+		Task:        v.task,
+		InputH:      in.H,
+		InputW:      in.W,
+		InputC:      in.C,
+		OutputElems: out.Elems(),
+		Softmax:     v.key.opts.AppendSoftmax,
+	}, nil
+}
+
+func (b graphBackend) Infer(ctx context.Context, name string, x []float64) (servegraph.Scored, error) {
+	v, release, err := b.repo.acquire(name)
+	if err != nil {
+		return servegraph.Scored{}, err
+	}
+	defer release()
+	mod := v.entry.Model
+	if want := mod.Tensors[mod.Input].Elems(); len(x) != want {
+		return servegraph.Scored{}, fmt.Errorf("serve: model %s: graph input has %d elements, want %d", v.name, len(x), want)
+	}
+	row, err := quantizeRow(mod, "FP32", x)
+	if err != nil {
+		return servegraph.Scored{}, err
+	}
+	out, err := v.batcher.Submit(ctx, row)
+	if err != nil {
+		return servegraph.Scored{}, err
+	}
+	outT := mod.Tensors[mod.Output]
+	scores := make([]float64, len(out))
+	for i, q := range out {
+		scores[i] = float64(outT.Scale) * float64(int32(q)-outT.ZeroPoint)
+	}
+	probs := scores
+	if !v.key.opts.AppendSoftmax {
+		probs = servegraph.Softmax(scores)
+	}
+	return servegraph.Scored{Model: v.name, Version: v.num, Scores: scores, Probs: probs}, nil
+}
+
+// graphUnloadGuard builds the Repository hook a server installs so Unload
+// of a model referenced by a registered graph 409s instead of silently
+// breaking the graph.
+func graphUnloadGuard(graphs *servegraph.Registry) func(model string) error {
+	return func(model string) error {
+		if holders := graphs.Referenced(model); len(holders) > 0 {
+			return &ModelInUseError{Model: model, Holders: holders}
+		}
+		return nil
+	}
+}
+
+// ---- /v2/graphs HTTP surface ----
+
+// graphInferRequest extends the v2 infer body with the routing parameter
+// switch nodes match on.
+type graphInferRequest struct {
+	ID         string            `json:"id,omitempty"`
+	Inputs     []v2Tensor        `json:"inputs"`
+	Parameters map[string]string `json:"parameters,omitempty"`
+}
+
+// graphError is the structured 4xx body for graph registration and infer
+// failures.
+type graphError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Graph string `json:"graph,omitempty"`
+	Node  string `json:"node,omitempty"`
+	Model string `json:"model,omitempty"`
+}
+
+// writeGraphError maps router errors onto HTTP statuses: invalid or
+// dangling specs → structured 400/404, stale version pins and in-use
+// conflicts → 409, unknown graphs → 404.
+func writeGraphError(w http.ResponseWriter, err error) {
+	var ve *servegraph.ValidationError
+	if errors.As(err, &ve) {
+		code := http.StatusBadRequest
+		if ve.Code == "unknown_model" {
+			code = http.StatusNotFound
+		}
+		writeJSON(w, code, graphError{Error: err.Error(), Code: ve.Code, Graph: ve.Graph, Node: ve.Node, Model: ve.Model})
+		return
+	}
+	var nf *servegraph.NotFoundError
+	if errors.As(err, &nf) {
+		writeJSON(w, http.StatusNotFound, graphError{Error: err.Error(), Code: "unknown_graph", Graph: nf.Graph})
+		return
+	}
+	var sv *servegraph.StaleVersionError
+	if errors.As(err, &sv) {
+		writeJSON(w, http.StatusConflict, graphError{Error: err.Error(), Code: "stale_version", Graph: sv.Graph, Model: sv.Model})
+		return
+	}
+	var re *servegraph.RouteError
+	if errors.As(err, &re) {
+		writeJSON(w, http.StatusBadRequest, graphError{Error: err.Error(), Code: "unknown_route", Graph: re.Graph, Node: re.Node})
+		return
+	}
+	var nl *NotLoadedError
+	if errors.As(err, &nl) {
+		// A referenced model was unloaded out-of-band (guard disabled or
+		// programmatic bypass): surface it as a conflict, not a 500.
+		writeJSON(w, http.StatusConflict, graphError{Error: err.Error(), Code: "model_not_loaded", Model: nl.Model})
+		return
+	}
+	if errors.Is(err, ErrDraining) {
+		writeJSON(w, http.StatusServiceUnavailable, v2Error{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, v2Error{Error: err.Error()})
+}
+
+// handleGraphList answers GET /v2/graphs with every graph's stats.
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.graphs.Snapshot()})
+}
+
+// handleGraphGet answers GET /v2/graphs/{name} with the spec + stats.
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	g, err := s.graphs.Get(r.PathValue("name"))
+	if err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"spec": g.Spec(), "stats": g.Stats()})
+}
+
+// handleGraphPut registers (or replaces) a graph after validating it
+// against the live repository index.
+func (s *Server) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var spec servegraph.Spec
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if spec.Name == "" {
+		spec.Name = name
+	}
+	if spec.Name != name {
+		writeJSON(w, http.StatusBadRequest, graphError{Error: fmt.Sprintf(
+			"spec is named %q, URL says %q", spec.Name, name), Code: "invalid_graph", Graph: spec.Name})
+		return
+	}
+	g, err := s.graphs.Put(&spec)
+	if err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	s.log.Info("graph registered", "graph", name, "revision", g.Revision(), "models", g.Models())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": name, "revision": g.Revision(), "models": g.Models(),
+		"input_shape": []int{g.InputH, g.InputW, g.InputC},
+	})
+}
+
+// handleGraphDelete removes a graph, releasing its model references.
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.graphs.Delete(name); err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	s.log.Info("graph deleted", "graph", name)
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "deleted": true})
+}
+
+// handleGraphInfer routes a v2-style infer request through a graph. The
+// body matches POST /v2/models/{name}/infer plus an optional
+// parameters.route string that switch nodes match on; a leading batch
+// dimension fans out to concurrent row evaluations. The response reports
+// the same scores/class/score outputs plus which leaf answered each row
+// and how many cascade stages it escalated through.
+func (s *Server) handleGraphInfer(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, v2Error{Error: "server draining"})
+		return
+	}
+	name := r.PathValue("name")
+	g, err := s.graphs.Get(name)
+	if err != nil {
+		writeGraphError(w, err)
+		return
+	}
+	layout := &graph.Tensor{H: g.InputH, W: g.InputW, C: g.InputC}
+	elems := layout.Elems()
+	r.Body = http.MaxBytesReader(w, r.Body, int64(1<<16)+24*int64(elems)*maxInferRows)
+	var req graphInferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, v2Error{Error: fmt.Sprintf(
+				"request body exceeds %d bytes (max client batch is %d rows)", tooBig.Limit, maxInferRows)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Inputs) != 1 {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf("want exactly 1 input tensor, got %d", len(req.Inputs))})
+		return
+	}
+	in := req.Inputs[0]
+	if in.Datatype != "" && in.Datatype != "FP32" {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf(
+			"unsupported datatype %q (graphs re-quantize per node; send FP32)", in.Datatype)})
+		return
+	}
+	n, err := batchRows(in, layout)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, v2Error{Error: fmt.Sprintf("input %q: %v (graph %s)", in.Name, err, name)})
+		return
+	}
+	route := req.Parameters["route"]
+
+	results := make([]*servegraph.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for b := 0; b < n; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			results[b], errs[b] = g.Infer(r.Context(), in.Data[b*elems:(b+1)*elems], route)
+		}(b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			writeGraphError(w, err)
+			return
+		}
+	}
+
+	outElems := g.OutputElems
+	scores := make([]float64, 0, n*outElems)
+	classes := make([]float64, n)
+	top := make([]float64, n)
+	servedBy := make([]string, n)
+	escalations := make([]int, n)
+	for b, res := range results {
+		scores = append(scores, res.Scores...)
+		classes[b] = float64(res.Class)
+		top[b] = res.Scores[res.Class]
+		servedBy[b] = res.ServedBy
+		escalations[b] = res.Escalations
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model_name": name,
+		"id":         req.ID,
+		"outputs": []v2Tensor{
+			{Name: "scores", Datatype: "FP32", Shape: []int{n, outElems}, Data: scores},
+			{Name: "class", Datatype: "INT32", Shape: []int{n}, Data: classes},
+			{Name: "score", Datatype: "FP32", Shape: []int{n}, Data: top},
+		},
+		"served_by":   servedBy,
+		"escalations": escalations,
+	})
+}

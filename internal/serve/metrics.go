@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"micronets/internal/servegraph"
 )
 
 // handleMetrics renders the serving counters in Prometheus text
@@ -97,6 +99,82 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "micronets_serve_batch_window_seconds{model=%q} %.6f\n",
 			v.name, v.batcher.Window().Seconds())
 	}
+	s.writeGraphMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeGraphMetrics renders the inference-graph router counters: per-graph
+// request/error/latency families plus per-node requests and the cascade
+// (gate hits, escalations) and splitter (picks) counters — the
+// observability half of the router's contract. Labels are {graph} and
+// {graph,node}; node names come from NodeSpec.Name or the node path.
+func (s *Server) writeGraphMetrics(b *strings.Builder) {
+	snaps := s.graphs.Snapshot()
+	fmt.Fprintf(b, "# HELP micronets_graphs_registered Registered inference graphs.\n")
+	fmt.Fprintf(b, "# TYPE micronets_graphs_registered gauge\n")
+	fmt.Fprintf(b, "micronets_graphs_registered %d\n", len(snaps))
+	if len(snaps) == 0 {
+		return
+	}
+	graphCounter := func(name, help string, val func(servegraph.GraphStats) uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, g := range snaps {
+			fmt.Fprintf(b, "%s{graph=%q} %d\n", name, g.Name, val(g))
+		}
+	}
+	graphCounter("micronets_graph_requests_total", "Requests routed through the graph.",
+		func(g servegraph.GraphStats) uint64 { return g.Requests })
+	graphCounter("micronets_graph_request_errors_total", "Graph requests that failed.",
+		func(g servegraph.GraphStats) uint64 { return g.Errors })
+	graphCounter("micronets_graph_request_latency_seconds_count", "Graph requests with measured end-to-end latency.",
+		func(g servegraph.GraphStats) uint64 { return g.LatencyN })
+	fmt.Fprintf(b, "# HELP micronets_graph_request_latency_seconds_sum Total end-to-end graph routing latency.\n")
+	fmt.Fprintf(b, "# TYPE micronets_graph_request_latency_seconds_sum counter\n")
+	for _, g := range snaps {
+		fmt.Fprintf(b, "micronets_graph_request_latency_seconds_sum{graph=%q} %.6f\n",
+			g.Name, float64(g.LatencyNs)/1e9)
+	}
+	fmt.Fprintf(b, "# HELP micronets_graph_revision Times the graph name has been (re)registered.\n")
+	fmt.Fprintf(b, "# TYPE micronets_graph_revision gauge\n")
+	for _, g := range snaps {
+		fmt.Fprintf(b, "micronets_graph_revision{graph=%q} %d\n", g.Name, g.Revision)
+	}
+	nodeCounter := func(name, help string, val func(servegraph.NodeStats) uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, g := range snaps {
+			for _, n := range g.Nodes {
+				fmt.Fprintf(b, "%s{graph=%q,node=%q} %d\n", name, g.Name, n.Node, val(n))
+			}
+		}
+	}
+	nodeCounter("micronets_graph_node_requests_total", "Requests the node evaluated.",
+		func(n servegraph.NodeStats) uint64 { return n.Requests })
+	nodeCounter("micronets_graph_node_errors_total", "Node evaluations that failed.",
+		func(n servegraph.NodeStats) uint64 { return n.Errors })
+	// Cascade and splitter counters only exist on their node kinds; emit
+	// them only where meaningful so the scrape stays compact.
+	emitIf := func(name, help, kind string, val func(servegraph.NodeStats) uint64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, g := range snaps {
+			for _, n := range g.Nodes {
+				if n.Kind == kind {
+					fmt.Fprintf(b, "%s{graph=%q,node=%q} %d\n", name, g.Name, n.Node, val(n))
+				}
+			}
+		}
+	}
+	emitIf("micronets_graph_gate_hits_total", "Cascade answers produced by a non-final stage.",
+		servegraph.KindCascade, func(n servegraph.NodeStats) uint64 { return n.GateHits })
+	emitIf("micronets_graph_escalations_total", "Cascade requests escalated to a later stage.",
+		servegraph.KindCascade, func(n servegraph.NodeStats) uint64 { return n.Escalations })
+	fmt.Fprintf(b, "# HELP micronets_graph_splitter_picks_total Times the splitter arm was chosen.\n")
+	fmt.Fprintf(b, "# TYPE micronets_graph_splitter_picks_total counter\n")
+	for _, g := range snaps {
+		for _, n := range g.Nodes {
+			if n.Weight > 0 {
+				fmt.Fprintf(b, "micronets_graph_splitter_picks_total{graph=%q,node=%q} %d\n", g.Name, n.Node, n.Picks)
+			}
+		}
+	}
 }

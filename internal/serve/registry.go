@@ -1,17 +1,3 @@
-// Package serve is the HTTP inference-serving subsystem: a KServe-v2-style
-// JSON protocol (health, model listing, metadata, infer) layered over the
-// repo's int8 TFLM-style runtime. The data path is
-//
-//	registry → interpreter pool → micro-batcher → kernels engine
-//
-// A Registry lowers each requested architecture once and caches the
-// resulting graph.Model; a Pool pre-warms planned interpreters so
-// concurrent requests never share an arena and never re-pay memory
-// planning; a Batcher coalesces in-flight requests for the same model into
-// single InvokeBatch calls under a configurable max-batch / max-latency
-// window. The models served are the MicroNets/MCUNet-class tiny networks
-// of the paper, whose per-request cost is small enough that aggressive
-// micro-batching is essentially free latency-wise.
 package serve
 
 import (

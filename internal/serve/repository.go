@@ -59,8 +59,26 @@ type Repository struct {
 	planned int // bytes reserved by live (loading+active+draining) versions
 	closed  bool
 
+	// unloadGuard, when set, can veto an Unload (e.g. the graph registry
+	// vetoes unloading a model a registered graph references).
+	guardMu     sync.RWMutex
+	unloadGuard func(model string) error
+
 	closeOnce sync.Once
 	lowerings atomic.Uint64
+}
+
+// SetUnloadGuard installs (or clears, with nil) a hook consulted at the
+// top of every Unload: a non-nil error vetoes the unload and is returned
+// to the caller verbatim. The server wires the inference-graph registry
+// through this so a model referenced by a registered graph answers 409
+// instead of being dropped out from under the graph. Swaps (re-Load of
+// the same name) are intentionally not guarded — graphs bind names, not
+// versions.
+func (r *Repository) SetUnloadGuard(guard func(model string) error) {
+	r.guardMu.Lock()
+	r.unloadGuard = guard
+	r.guardMu.Unlock()
 }
 
 // RepositoryConfig configures a Repository.
@@ -408,6 +426,14 @@ func (r *Repository) Unload(name string) error {
 	r.mu.Unlock()
 	if m == nil {
 		return &NotLoadedError{Model: name}
+	}
+	r.guardMu.RLock()
+	guard := r.unloadGuard
+	r.guardMu.RUnlock()
+	if guard != nil {
+		if err := guard(name); err != nil {
+			return err
+		}
 	}
 	m.loadMu.Lock()
 	defer m.loadMu.Unlock()

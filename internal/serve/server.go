@@ -16,6 +16,7 @@ import (
 
 	"micronets/internal/arch"
 	"micronets/internal/graph"
+	"micronets/internal/servegraph"
 	"micronets/internal/zoo"
 )
 
@@ -77,6 +78,7 @@ type Server struct {
 	cfg      Config
 	repo     *Repository
 	ownsRepo bool
+	graphs   *servegraph.Registry
 	mux      *http.ServeMux
 	log      *slog.Logger
 	ready    atomic.Bool
@@ -145,17 +147,24 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.graphs = servegraph.NewRegistry(GraphBackend(repo))
+	repo.SetUnloadGuard(graphUnloadGuard(s.graphs))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v2/health/live", s.handleLive)
 	s.mux.HandleFunc("GET /v2/health/ready", s.handleReady)
 	s.mux.HandleFunc("GET /v2/models", s.handleModels)
 	s.mux.HandleFunc("GET /v2/models/{name}", s.handleModelMeta)
 	s.mux.HandleFunc("POST /v2/models/{name}/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v2/graphs", s.handleGraphList)
+	s.mux.HandleFunc("GET /v2/graphs/{name}", s.handleGraphGet)
+	s.mux.HandleFunc("POST /v2/graphs/{name}/infer", s.handleGraphInfer)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if !cfg.DisableAdmin {
 		s.mux.HandleFunc("GET /v2/repository/index", s.handleRepoIndex)
 		s.mux.HandleFunc("POST /v2/repository/models/{name}/load", s.handleRepoLoad)
 		s.mux.HandleFunc("POST /v2/repository/models/{name}/unload", s.handleRepoUnload)
+		s.mux.HandleFunc("PUT /v2/graphs/{name}", s.handleGraphPut)
+		s.mux.HandleFunc("DELETE /v2/graphs/{name}", s.handleGraphDelete)
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -164,6 +173,10 @@ func New(cfg Config) (*Server, error) {
 // Repository returns the server's control plane, for callers that want to
 // drive lifecycles programmatically next to the HTTP admin surface.
 func (s *Server) Repository() *Repository { return s.repo }
+
+// Graphs returns the server's inference-graph registry, for callers that
+// want to register graphs programmatically next to the HTTP surface.
+func (s *Server) Graphs() *servegraph.Registry { return s.graphs }
 
 // Handler returns the fully routed handler wrapped in request logging.
 func (s *Server) Handler() http.Handler { return s.logMiddleware(s.mux) }
@@ -482,6 +495,16 @@ func writeRepoError(w http.ResponseWriter, err error) {
 			NeededBytes:  be.NeededBytes,
 			BudgetBytes:  be.BudgetBytes,
 			PlannedBytes: be.PlannedBytes,
+		})
+		return
+	}
+	var iu *ModelInUseError
+	if errors.As(err, &iu) {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error":  iu.Error(),
+			"code":   "model_referenced",
+			"model":  iu.Model,
+			"graphs": iu.Holders,
 		})
 		return
 	}

@@ -1,0 +1,34 @@
+// Package servegraph is the in-process inference-graph router: declarative
+// graphs of loaded model versions, in the spirit of KServe's
+// InferenceGraph, executed without any network hop between nodes.
+//
+// A graph is a named tree of nodes (Spec / NodeSpec, plain JSON):
+//
+//   - model    — leaf; runs one loaded model version
+//   - sequence — children evaluated in order on the original input; the
+//     last child's answer wins
+//   - switch   — routes to the child whose "when" matches the request's
+//     route parameter (an empty "when" is the default arm)
+//   - ensemble — children evaluated concurrently; their probability
+//     vectors are averaged elementwise
+//   - splitter — weighted traffic split: each request is routed to one
+//     child drawn from the normalized weights (seeded RNG, per-arm
+//     metrics) — percentage-based canary rollout between versions
+//   - cascade  — early-exit chain: each stage answers if its top softmax
+//     confidence clears the threshold, otherwise the request escalates to
+//     the next (larger) stage; the last stage always answers
+//
+// The cascade is the serving-side continuation of the paper's MCU-budget
+// argument: a tiny gate model spends the minimum cycles/energy on the
+// easy majority of traffic and escalates only the hard tail, so the
+// blended cost per inference approaches the gate's, not the frontier
+// model's. Gate-hit rate, escalations, and per-arm counts are tracked per
+// node for /metrics.
+//
+// The package is deliberately backend-agnostic: it routes over the small
+// Backend interface (resolve a model, run one float row) and knows
+// nothing about HTTP or the repository. internal/serve adapts
+// serve.Repository to Backend, mounts the /v2/graphs endpoints, and
+// guards Unload so a model referenced by a registered graph cannot be
+// dropped out from under it.
+package servegraph

@@ -1,0 +1,481 @@
+package servegraph
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ModelInfo is what the router needs to know about a loaded model to
+// validate a graph against the repository index.
+type ModelInfo struct {
+	Name    string
+	Version int
+	Task    string
+	// InputH/W/C is the model's input layout; every leaf of one graph
+	// must agree on it (a graph has a single fan-in).
+	InputH, InputW, InputC int
+	// OutputElems is the score-vector length (ensemble arms must match).
+	OutputElems int
+	// Softmax reports whether the model was lowered with the classifier
+	// softmax appended, i.e. whether its outputs are already probabilities.
+	Softmax bool
+}
+
+// Scored is one model answer in the float domain.
+type Scored struct {
+	Model   string
+	Version int
+	// Scores are the dequantized outputs (probabilities when the model
+	// appends softmax, logits otherwise).
+	Scores []float64
+	// Probs are the probability-domain scores: Scores when the model
+	// appends softmax, softmax(Scores) otherwise. Cascade confidence and
+	// ensemble averaging operate here.
+	Probs []float64
+}
+
+// Backend is the model-serving surface the router routes over.
+// serve.Repository satisfies it through an adapter; tests use fakes.
+type Backend interface {
+	// ModelInfo resolves a model that currently has a serving version.
+	ModelInfo(name string) (ModelInfo, error)
+	// Infer runs one float input row through the serving version.
+	Infer(ctx context.Context, model string, x []float64) (Scored, error)
+}
+
+// Result is one answer routed through a graph.
+type Result struct {
+	// Scores is the answer vector (the answering node's dequantized
+	// scores; for an ensemble, the averaged probabilities).
+	Scores []float64
+	// Probs is the probability-domain view of Scores.
+	Probs []float64
+	// Class is argmax(Probs); Confidence is Probs[Class].
+	Class      int
+	Confidence float64
+	// ServedBy is the leaf model that produced the answer ("a+b" for an
+	// ensemble).
+	ServedBy string
+	// Escalations counts cascade stages that declined this request.
+	Escalations int
+}
+
+// cnode is one compiled graph node with its live counters.
+type cnode struct {
+	kind      string
+	label     string
+	model     string
+	version   int
+	threshold float64
+	weight    float64 // normalized splitter share
+	when      string
+	hasWhen   bool // distinguishes the default arm from no arm
+	children  []*cnode
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	// gateHits / escalations are cascade counters: answers produced by a
+	// non-final stage vs requests passed on to the next stage.
+	gateHits    atomic.Uint64
+	escalations atomic.Uint64
+	// picks counts how often a splitter chose this arm.
+	picks atomic.Uint64
+}
+
+// Graph is one registered, compiled inference graph.
+type Graph struct {
+	spec     Spec
+	revision int
+	root     *cnode
+	backend  Backend
+
+	// Input layout shared by every leaf, for HTTP shape validation.
+	InputH, InputW, InputC int
+	// OutputElems is the root's answer-vector length.
+	OutputElems int
+
+	models []string // referenced model names, sorted
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latNsSum atomic.Uint64
+	latCount atomic.Uint64
+}
+
+// Spec returns a copy of the registered spec.
+func (g *Graph) Spec() Spec { return g.spec }
+
+// Revision returns how many times this name has been (re)registered.
+func (g *Graph) Revision() int { return g.revision }
+
+// Models returns the model names the graph references, sorted.
+func (g *Graph) Models() []string { return append([]string(nil), g.models...) }
+
+// compile validates a spec against the backend's current index and builds
+// the executable node tree.
+func compile(spec *Spec, backend Backend, revision int) (*Graph, error) {
+	if spec == nil || spec.Name == "" {
+		return nil, &ValidationError{Graph: "", Code: "invalid_graph", Detail: "graph needs a name"}
+	}
+	if !nameRE.MatchString(spec.Name) {
+		return nil, &ValidationError{Graph: spec.Name, Code: "invalid_graph",
+			Detail: fmt.Sprintf("name %q is not a valid path segment", spec.Name)}
+	}
+	if spec.Root == nil {
+		return nil, &ValidationError{Graph: spec.Name, Code: "invalid_graph", Detail: "graph needs a root node"}
+	}
+	g := &Graph{spec: *spec, revision: revision, backend: backend}
+	c := &compiler{graph: spec.Name, backend: backend, infos: map[string]ModelInfo{}}
+	root, err := c.compileNode(spec.Root, "root", 0)
+	if err != nil {
+		return nil, err
+	}
+	g.root = root
+	g.OutputElems = c.outElems(root)
+	for name := range c.infos {
+		g.models = append(g.models, name)
+	}
+	sort.Strings(g.models)
+	// Every leaf was checked against the first-seen input layout, so any
+	// referenced model's layout is THE graph layout.
+	first := c.infos[c.firstLeaf]
+	g.InputH, g.InputW, g.InputC = first.InputH, first.InputW, first.InputC
+	seed := spec.Seed
+	if seed == 0 {
+		for _, r := range spec.Name {
+			seed = seed*131 + int64(r)
+		}
+	}
+	g.rng = rand.New(rand.NewSource(seed))
+	return g, nil
+}
+
+// compiler carries the per-compile validation state.
+type compiler struct {
+	graph     string
+	backend   Backend
+	infos     map[string]ModelInfo
+	firstLeaf string
+	nodes     int
+}
+
+func (c *compiler) errf(node, code, model, format string, args ...any) error {
+	return &ValidationError{Graph: c.graph, Node: node, Code: code, Model: model,
+		Detail: fmt.Sprintf(format, args...)}
+}
+
+func (c *compiler) compileNode(spec *NodeSpec, path string, depth int) (*cnode, error) {
+	if spec == nil {
+		return nil, c.errf(path, "invalid_graph", "", "node is null")
+	}
+	if depth > maxDepth {
+		return nil, c.errf(path, "invalid_graph", "", "graph deeper than %d levels", maxDepth)
+	}
+	if c.nodes++; c.nodes > maxNodes {
+		return nil, c.errf(path, "invalid_graph", "", "graph has more than %d nodes", maxNodes)
+	}
+	label := spec.Name
+	if label == "" {
+		label = path
+	}
+	n := &cnode{kind: spec.Kind, label: label, threshold: spec.Threshold,
+		when: spec.When, hasWhen: spec.When != ""}
+	if spec.Threshold < 0 || spec.Threshold > 1 {
+		return nil, c.errf(path, "invalid_graph", "", "threshold %v outside [0,1]", spec.Threshold)
+	}
+
+	if spec.Kind == KindModel {
+		if len(spec.Children) > 0 {
+			return nil, c.errf(path, "invalid_graph", spec.Model, "model leaf cannot have children")
+		}
+		if spec.Model == "" {
+			return nil, c.errf(path, "invalid_graph", "", "model leaf needs a model name")
+		}
+		info, err := c.backend.ModelInfo(spec.Model)
+		if err != nil {
+			return nil, c.errf(path, "unknown_model", spec.Model, "model %q has no serving version: %v", spec.Model, err)
+		}
+		if spec.Version != 0 && spec.Version != info.Version {
+			return nil, c.errf(path, "version_mismatch", spec.Model,
+				"model %q pins version %d but version %d is serving", spec.Model, spec.Version, info.Version)
+		}
+		if c.firstLeaf == "" {
+			c.firstLeaf = spec.Model
+		} else {
+			first := c.infos[c.firstLeaf]
+			if first.InputH != info.InputH || first.InputW != info.InputW || first.InputC != info.InputC {
+				return nil, c.errf(path, "invalid_graph", spec.Model,
+					"model %q input [%d %d %d] differs from %q input [%d %d %d]; one graph has one input layout",
+					spec.Model, info.InputH, info.InputW, info.InputC,
+					c.firstLeaf, first.InputH, first.InputW, first.InputC)
+			}
+		}
+		c.infos[spec.Model] = info
+		n.model, n.version = spec.Model, spec.Version
+		return n, nil
+	}
+
+	switch spec.Kind {
+	case KindSequence, KindSwitch, KindEnsemble, KindSplitter, KindCascade:
+	default:
+		return nil, c.errf(path, "invalid_graph", "", "unknown node kind %q", spec.Kind)
+	}
+	if len(spec.Children) == 0 {
+		return nil, c.errf(path, "invalid_graph", "", "%s node needs at least one child", spec.Kind)
+	}
+	if spec.Model != "" {
+		return nil, c.errf(path, "invalid_graph", spec.Model, "%s node cannot name a model; use a model leaf child", spec.Kind)
+	}
+	var totalWeight float64
+	seenWhen := map[string]bool{}
+	for i, cs := range spec.Children {
+		child, err := c.compileNode(cs, fmt.Sprintf("%s.%d", path, i), depth+1)
+		if err != nil {
+			return nil, err
+		}
+		switch spec.Kind {
+		case KindSplitter:
+			if cs.Weight < 0 {
+				return nil, c.errf(child.label, "invalid_graph", "", "splitter weight %v is negative", cs.Weight)
+			}
+			if cs.Weight == 0 {
+				child.weight = 1
+			} else {
+				child.weight = cs.Weight
+			}
+			totalWeight += child.weight
+		case KindSwitch:
+			if seenWhen[cs.When] {
+				if cs.When == "" {
+					return nil, c.errf(path, "invalid_graph", "", "switch has more than one default arm")
+				}
+				return nil, c.errf(path, "invalid_graph", "", "switch has duplicate arm %q", cs.When)
+			}
+			seenWhen[cs.When] = true
+			child.when, child.hasWhen = cs.When, cs.When != ""
+		}
+		n.children = append(n.children, child)
+	}
+	if spec.Kind == KindSplitter {
+		for _, child := range n.children {
+			child.weight /= totalWeight
+		}
+	}
+	// Nodes that can answer from any child need the answer shapes to
+	// agree; a sequence only ever answers from its last child.
+	if spec.Kind != KindSequence {
+		want := c.outElems(n.children[0])
+		for i, child := range n.children[1:] {
+			if got := c.outElems(child); got != want {
+				return nil, c.errf(path, "invalid_graph", "",
+					"%s children disagree on output length (child 0 has %d, child %d has %d)",
+					spec.Kind, want, i+1, got)
+			}
+		}
+	}
+	return n, nil
+}
+
+// outElems is the answer-vector length a subtree produces.
+func (c *compiler) outElems(n *cnode) int {
+	if n.kind == KindModel {
+		return c.infos[n.model].OutputElems
+	}
+	return c.outElems(n.children[len(n.children)-1])
+}
+
+// Infer routes one float input row through the graph. route selects the
+// arm at switch nodes (the request's "route" parameter).
+func (g *Graph) Infer(ctx context.Context, x []float64, route string) (*Result, error) {
+	start := time.Now()
+	g.requests.Add(1)
+	res, err := g.eval(ctx, g.root, x, route)
+	if err != nil {
+		g.errors.Add(1)
+		return nil, err
+	}
+	g.latNsSum.Add(uint64(time.Since(start).Nanoseconds()))
+	g.latCount.Add(1)
+	return res, nil
+}
+
+func (g *Graph) eval(ctx context.Context, n *cnode, x []float64, route string) (*Result, error) {
+	n.requests.Add(1)
+	res, err := g.evalKind(ctx, n, x, route)
+	if err != nil {
+		n.errors.Add(1)
+	}
+	return res, err
+}
+
+func (g *Graph) evalKind(ctx context.Context, n *cnode, x []float64, route string) (*Result, error) {
+	switch n.kind {
+	case KindModel:
+		s, err := g.backend.Infer(ctx, n.model, x)
+		if err != nil {
+			return nil, err
+		}
+		if n.version != 0 && s.Version != n.version {
+			return nil, &StaleVersionError{Graph: g.spec.Name, Model: n.model, Want: n.version, Got: s.Version}
+		}
+		return resultFrom(s.Scores, s.Probs, n.model), nil
+
+	case KindSequence:
+		// Every step sees the original input; the last answer wins.
+		var last *Result
+		for _, child := range n.children {
+			res, err := g.eval(ctx, child, x, route)
+			if err != nil {
+				return nil, err
+			}
+			last = res
+		}
+		return last, nil
+
+	case KindSwitch:
+		var deflt *cnode
+		for _, child := range n.children {
+			if child.hasWhen && child.when == route {
+				return g.eval(ctx, child, x, route)
+			}
+			if !child.hasWhen {
+				deflt = child
+			}
+		}
+		if deflt != nil {
+			return g.eval(ctx, deflt, x, route)
+		}
+		return nil, &RouteError{Graph: g.spec.Name, Node: n.label, Route: route}
+
+	case KindEnsemble:
+		results := make([]*Result, len(n.children))
+		errs := make([]error, len(n.children))
+		var wg sync.WaitGroup
+		for i, child := range n.children {
+			wg.Add(1)
+			go func(i int, child *cnode) {
+				defer wg.Done()
+				results[i], errs[i] = g.eval(ctx, child, x, route)
+			}(i, child)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Average in the probability domain so softmaxed and raw-logit
+		// members mix on one scale.
+		avg := make([]float64, len(results[0].Probs))
+		names := make([]string, len(results))
+		for i, r := range results {
+			for j, p := range r.Probs {
+				avg[j] += p
+			}
+			names[i] = r.ServedBy
+		}
+		for j := range avg {
+			avg[j] /= float64(len(results))
+		}
+		out := resultFrom(avg, avg, "")
+		out.ServedBy = joinNames(names)
+		return out, nil
+
+	case KindSplitter:
+		g.rngMu.Lock()
+		pick := g.rng.Float64()
+		g.rngMu.Unlock()
+		chosen := n.children[len(n.children)-1]
+		for _, child := range n.children {
+			if pick < child.weight {
+				chosen = child
+				break
+			}
+			pick -= child.weight
+		}
+		chosen.picks.Add(1)
+		return g.eval(ctx, chosen, x, route)
+
+	case KindCascade:
+		escalated := 0
+		for i, child := range n.children {
+			res, err := g.eval(ctx, child, x, route)
+			if err != nil {
+				return nil, err
+			}
+			threshold := n.threshold
+			if child.threshold > 0 {
+				threshold = child.threshold
+			}
+			last := i == len(n.children)-1
+			if last || res.Confidence >= threshold {
+				if !last {
+					n.gateHits.Add(1)
+				}
+				res.Escalations += escalated
+				return res, nil
+			}
+			n.escalations.Add(1)
+			escalated++
+		}
+		panic("servegraph: cascade with no children survived validation")
+	}
+	panic(fmt.Sprintf("servegraph: unknown compiled kind %q", n.kind))
+}
+
+// resultFrom builds a Result around a score vector and its probability
+// view, computing argmax class and confidence.
+func resultFrom(scores, probs []float64, servedBy string) *Result {
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	conf := 0.0
+	if len(probs) > 0 {
+		conf = probs[best]
+	}
+	return &Result{Scores: scores, Probs: probs, Class: best, Confidence: conf, ServedBy: servedBy}
+}
+
+func joinNames(names []string) string {
+	out := names[0]
+	for _, n := range names[1:] {
+		out += "+" + n
+	}
+	return out
+}
+
+// Softmax converts a logit vector to probabilities (numerically stable).
+// Exported for backends whose models do not append a softmax op.
+func Softmax(logits []float64) []float64 {
+	if len(logits) == 0 {
+		return nil
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

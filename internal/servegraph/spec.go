@@ -1,0 +1,127 @@
+package servegraph
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// Node kinds accepted in a NodeSpec.
+const (
+	KindModel    = "model"
+	KindSequence = "sequence"
+	KindSwitch   = "switch"
+	KindEnsemble = "ensemble"
+	KindSplitter = "splitter"
+	KindCascade  = "cascade"
+)
+
+// Spec is the declarative JSON form of one inference graph — the body of
+// PUT /v2/graphs/{name}.
+type Spec struct {
+	// Name is the graph's serving name (URL path segment).
+	Name string `json:"name"`
+	// Description is free-form documentation carried with the graph.
+	Description string `json:"description,omitempty"`
+	// Seed seeds the splitter RNG so weighted splits are reproducible in
+	// tests (0 derives a seed from the graph name).
+	Seed int64 `json:"seed,omitempty"`
+	// Root is the graph's entry node.
+	Root *NodeSpec `json:"root"`
+}
+
+// NodeSpec is one node of the graph tree. Kind selects which of the other
+// fields apply; unused fields must be left zero.
+type NodeSpec struct {
+	// Kind is one of model, sequence, switch, ensemble, splitter, cascade.
+	Kind string `json:"kind"`
+	// Name optionally overrides the node's metrics label (default: its
+	// path, e.g. "root.1").
+	Name string `json:"name,omitempty"`
+
+	// Model names the loaded repository model this leaf runs (kind model).
+	Model string `json:"model,omitempty"`
+	// Version optionally pins the leaf to a specific serving version;
+	// 0 means "whatever is READY". A pinned version is validated at
+	// registration and re-checked on every infer.
+	Version int `json:"version,omitempty"`
+
+	// Threshold is the cascade early-exit confidence in [0,1]: a stage
+	// answers when its top softmax probability is >= Threshold. On a
+	// cascade node it applies to every non-final stage; set on a child it
+	// overrides the node-level value for that stage alone.
+	Threshold float64 `json:"threshold,omitempty"`
+
+	// Weight is this child's share of a splitter parent's traffic
+	// (relative, normalized at registration; unset means 1).
+	Weight float64 `json:"weight,omitempty"`
+
+	// When is the route key this child of a switch parent matches; the
+	// request selects an arm via its "route" parameter. Empty marks the
+	// default arm.
+	When string `json:"when,omitempty"`
+
+	// Children are the sub-nodes (every kind except model).
+	Children []*NodeSpec `json:"children,omitempty"`
+}
+
+// Validation limits: a graph is a routing plan, not a program.
+const (
+	maxNodes = 64
+	maxDepth = 8
+)
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// ValidationError rejects a Put whose spec cannot be compiled against the
+// current repository index. The HTTP layer renders it as a structured
+// 4xx: Code is machine-readable ("unknown_model", "version_mismatch",
+// "invalid_graph"), Node is the offending node's path, Model the model
+// reference involved (when any).
+type ValidationError struct {
+	Graph  string
+	Node   string
+	Code   string
+	Model  string
+	Detail string
+}
+
+func (e *ValidationError) Error() string {
+	msg := fmt.Sprintf("servegraph: graph %q", e.Graph)
+	if e.Node != "" {
+		msg += " node " + e.Node
+	}
+	return msg + ": " + e.Detail
+}
+
+// NotFoundError reports an operation on an unregistered graph (HTTP 404).
+type NotFoundError struct{ Graph string }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("servegraph: graph %q not registered", e.Graph)
+}
+
+// StaleVersionError fails an infer through a leaf whose pinned model
+// version is no longer the serving one (HTTP 409: re-register the graph
+// against the new index).
+type StaleVersionError struct {
+	Graph, Model string
+	Want, Got    int
+}
+
+func (e *StaleVersionError) Error() string {
+	return fmt.Sprintf("servegraph: graph %q pins %s version %d but version %d is serving",
+		e.Graph, e.Model, e.Want, e.Got)
+}
+
+// RouteError fails an infer whose switch node has no arm for the
+// request's route parameter (HTTP 400).
+type RouteError struct {
+	Graph, Node, Route string
+}
+
+func (e *RouteError) Error() string {
+	if e.Route == "" {
+		return fmt.Sprintf("servegraph: graph %q node %s: no route parameter and no default arm", e.Graph, e.Node)
+	}
+	return fmt.Sprintf("servegraph: graph %q node %s: no arm matches route %q and no default arm", e.Graph, e.Node, e.Route)
+}

@@ -1,0 +1,7 @@
+// Package tflm implements the reproduction's inference runtime — the
+// stand-in for TensorFlow Lite for Microcontrollers. Like TFLM it is an
+// interpreter over a serialized graph: tensors live in a single SRAM arena
+// laid out by a greedy offset planner, weights and the graph stay in flash,
+// and a per-op "persistent buffer" region holds requantization parameters
+// and kernel structs (Figure 2 of the paper).
+package tflm

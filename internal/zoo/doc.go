@@ -1,0 +1,11 @@
+// Package zoo catalogues the model architectures evaluated in the paper:
+// the MicroNet family (Table 5, Figure 6), the DS-CNN and MobileNetV2
+// baselines, the anomaly-detection autoencoders, and stats-only comparison
+// points (ProxylessNAS, MSNet, MCUNet) whose exact architectures are not
+// public — those carry the paper's published numbers and are marked
+// Source: "paper".
+//
+// The catalogue is extensible at runtime: cmd/search exports frontier
+// winners as spec files that Register/RegisterSpecFile add under NAS-*
+// names, making them loadable by the serving repository like any built-in.
+package zoo

@@ -15,12 +15,24 @@ cd "$(dirname "$0")/.."
 WORK="${1:-$(mktemp -d)}"
 
 # --- NAS search: 64 hardware-in-the-loop trials, then the accuracy-in-
-# the-loop finalist stage; JSONL log + exported frontier.
+# the-loop finalist stage; JSONL log + exported frontier + a cascade
+# graph spec built from the exported points (fast gate → accurate final).
 go run ./cmd/search -trials 64 -seed 42 -finalists 2 -train-steps 30 \
-    -log "$WORK/search_trials.jsonl" -export "$WORK/frontier.json" -export-top 3
+    -log "$WORK/search_trials.jsonl" -export "$WORK/frontier.json" -export-top 3 \
+    -export-cascade "$WORK/cascade.json" -cascade-stages 2 -cascade-threshold 0.7
 test -s "$WORK/search_trials.jsonl"
 head -1 "$WORK/search_trials.jsonl" | jq -e 'has("trial") and has("metrics")' >/dev/null
 jq -e '.specs | length >= 1' "$WORK/frontier.json" >/dev/null
+
+# The cascade spec must be a ready-to-PUT graph whose stages all name
+# models present in the frontier export (serve_smoke.sh registers it
+# against a live server).
+jq -e '.root.kind == "cascade" and (.root.children | length == 2)
+    and ([.root.children[].kind] | all(. == "model"))
+    and .root.threshold == 0.7' "$WORK/cascade.json" >/dev/null
+jq -e --slurpfile f "$WORK/frontier.json" \
+    '[.root.children[].model] - [$f[0].specs[].Name] == []' "$WORK/cascade.json" >/dev/null
+echo "cascade export OK: $(jq -c '{name, stages: [.root.children[].model]}' "$WORK/cascade.json")"
 
 # The trained re-rank must be durable and honest: finalist records carry a
 # non-zero trained accuracy distinct from the proxy (a trial whose

@@ -6,6 +6,10 @@
 # via search_smoke.sh) is hot-loaded through POST /v2/repository/.../load
 # and served WITHOUT any restart, an over-budget load is rejected with a
 # structured 409, and an unload drains the model back out of the index.
+# Then the inference-graph router: the cascade cmd/search exported is
+# registered and served, deterministic cascades prove gate-hit and
+# escalation paths (with /metrics counters to match), a dangling model
+# ref is a structured 4xx, and unloading a graph-referenced model 409s.
 # Used by `make serve-smoke` and the CI serve-smoke job (keep the two in
 # sync by editing only this file).
 set -euo pipefail
@@ -101,16 +105,87 @@ UNLOADED_CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v2/models/D
 test "$UNLOADED_CODE" = "404"
 echo "unload OK: DSCNN-S drained out of the index"
 
+# --- Inference graphs: register the cascade cmd/search exported, plus
+# two hand-made cascades whose thresholds force both outcomes, and prove
+# the router end to end — infer, counters, validation 4xx, unload guard.
+
+# The exported cascade's stages are frontier models; load every exported
+# spec so the graph validates (loads are idempotent).
+for m in $(jq -r '.specs[].Name' "$WORK/frontier.json"); do
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "{\"spec_file\": \"$WORK/frontier.json\"}" \
+        "http://$ADDR/v2/repository/models/$m/load" >/dev/null
+done
+CASCADE_NAME=$(jq -r '.name' "$WORK/cascade.json")
+curl -fsS -X PUT -H 'Content-Type: application/json' \
+    -d @"$WORK/cascade.json" "http://$ADDR/v2/graphs/$CASCADE_NAME" \
+    | jq -e '.revision == 1 and (.models | length == 2)' >/dev/null
+GRESP=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "$PAYLOAD" "http://$ADDR/v2/graphs/$CASCADE_NAME/infer")
+echo "$GRESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1' >/dev/null
+echo "$GRESP" | jq -e '.served_by | length == 1' >/dev/null
+echo "graph OK: searched cascade $CASCADE_NAME served by $(echo "$GRESP" | jq -c '.served_by[0]') (escalations $(echo "$GRESP" | jq -c '.escalations[0]'))"
+
+# cas-lo (threshold 0) must always answer at the gate; cas-hi
+# (threshold 1.0) can never clear a quantized softmax (max 255/256), so
+# it must always escalate — deterministic counters for /metrics below.
+jq -n --arg gate "$NAS_MODEL" --arg big "$MODEL" \
+    '{root: {kind: "cascade", threshold: 0, children: [
+        {kind: "model", model: $gate}, {kind: "model", model: $big}]}}' |
+    curl -fsS -X PUT -d @- "http://$ADDR/v2/graphs/cas-lo" | jq -e '.revision == 1' >/dev/null
+jq -n --arg gate "$NAS_MODEL" --arg big "$MODEL" \
+    '{root: {kind: "cascade", threshold: 1.0, children: [
+        {kind: "model", model: $gate}, {kind: "model", model: $big}]}}' |
+    curl -fsS -X PUT -d @- "http://$ADDR/v2/graphs/cas-hi" | jq -e '.revision == 1' >/dev/null
+curl -fsS -X POST -d "$PAYLOAD" "http://$ADDR/v2/graphs/cas-lo/infer" \
+    | jq -e --arg m "$NAS_MODEL" '.served_by[0] == $m and .escalations[0] == 0' >/dev/null
+curl -fsS -X POST -d "$PAYLOAD" "http://$ADDR/v2/graphs/cas-hi/infer" \
+    | jq -e --arg m "$MODEL" '.served_by[0] == $m and .escalations[0] == 1' >/dev/null
+curl -fsS "http://$ADDR/v2/graphs/cas-lo" \
+    | jq -e '.stats.nodes[] | select(.kind=="cascade") | .gate_hits == 1 and (.escalations // 0) == 0' >/dev/null
+echo "cascade routing OK: cas-lo gates, cas-hi escalates to $MODEL"
+
+# A spec naming an unloaded model is a structured 404 at registration,
+# not a 5xx at infer time.
+BADGRAPH_CODE=$(jq -n '{root: {kind: "model", model: "no-such-model"}}' |
+    curl -s -o "$WORK/badgraph.json" -w '%{http_code}' -X PUT -d @- "http://$ADDR/v2/graphs/bad")
+test "$BADGRAPH_CODE" = "404"
+jq -e '.code == "unknown_model" and .model == "no-such-model"' "$WORK/badgraph.json" >/dev/null
+echo "graph validation OK: dangling model ref rejected with unknown_model"
+
+# Unloading a model a graph references must 409 with the holders listed.
+GUARD_CODE=$(curl -s -o "$WORK/guard.json" -w '%{http_code}' -X POST \
+    "http://$ADDR/v2/repository/models/$MODEL/unload")
+test "$GUARD_CODE" = "409"
+jq -e '.code == "model_referenced" and (.graphs | index("cas-lo") != null)' "$WORK/guard.json" >/dev/null
+curl -fsS -X POST -d "$PAYLOAD" "http://$ADDR/v2/models/$MODEL/infer" >/dev/null
+echo "unload guard OK: $MODEL kept serving behind $(jq -c '.graphs' "$WORK/guard.json")"
+
 # --- Metrics expose the repository state: per-model version/pool/arena
-# gauges plus the budget pair.
+# gauges plus the budget pair, and the graph router's counter families
+# (the deterministic cascades above guarantee non-zero gate-hit and
+# escalation counts).
 METRICS=$(curl -fsS "http://$ADDR/metrics")
-echo "$METRICS" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"} 1'
+echo "$METRICS" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"} [1-9]'
 echo "$METRICS" | grep -q "micronets_serve_model_versions{model=\"$NAS_MODEL\"} 1"
 echo "$METRICS" | grep -q "micronets_serve_pool_size{model=\"$NAS_MODEL\"} "
 echo "$METRICS" | grep -q "micronets_serve_planned_arena_bytes{model=\"$NAS_MODEL\"} "
 echo "$METRICS" | grep -q 'micronets_serve_ram_budget_bytes 524288'
 echo "$METRICS" | grep -q 'micronets_serve_ram_planned_bytes '
-echo "metrics OK"
+echo "$METRICS" | grep -q 'micronets_graphs_registered 3'
+echo "$METRICS" | grep -q 'micronets_graph_requests_total{graph="cas-lo"} 1'
+echo "$METRICS" | grep -q "micronets_graph_requests_total{graph=\"$CASCADE_NAME\"} 1"
+echo "$METRICS" | grep -q 'micronets_graph_gate_hits_total{graph="cas-lo",node="root"} 1'
+echo "$METRICS" | grep -q 'micronets_graph_escalations_total{graph="cas-hi",node="root"} 1'
+echo "metrics OK (incl. graph gate-hit/escalation counters)"
+
+# --- BENCH_graph.json: the cascade must beat the single large model on
+# mean latency over mixed traffic (the paper's op-budget logic, measured
+# on the serving path).
+go run ./cmd/bench -exp graph -json -graph-requests 12 >/dev/null
+jq -e '.cascade.cascade_mean_ms < .cascade.large_mean_ms
+    and .cascade.speedup_vs_large > 1 and .cascade.gate_hits > 0' BENCH_graph.json >/dev/null
+echo "bench graph OK: cascade $(jq -r '.cascade.cascade_mean_ms' BENCH_graph.json)ms vs large-only $(jq -r '.cascade.large_mean_ms' BENCH_graph.json)ms ($(jq -r '.cascade.speedup_vs_large' BENCH_graph.json)x)"
 
 # Graceful drain: SIGTERM must flip readiness and exit zero.
 kill -TERM "$PID"
