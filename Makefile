@@ -69,4 +69,16 @@ cover:
 search:
 	$(GO) run ./cmd/search
 
+# profile prints the per-op measured-vs-predicted latency table (the live
+# check of the paper's §3 linearity claim) for one zoo model.
+.PHONY: profile
+profile:
+	$(GO) run ./cmd/bench -exp profile
+
+# loadgen drives a running `make serve` with open-loop traffic and writes
+# BENCH_serve.json (p50/p95/p99 per target).
+.PHONY: loadgen
+loadgen:
+	$(GO) run ./cmd/loadgen
+
 ci: build lint test bench-smoke fuzz-smoke serve-smoke cover

@@ -173,6 +173,29 @@ func benchInvoke(b *testing.B, name string, eng kernels.Engine) {
 //	go test -bench=BenchmarkInvoke
 func BenchmarkInvokeKWSSReference(b *testing.B) { benchInvoke(b, "MicroNet-KWS-S", kernels.Reference) }
 func BenchmarkInvokeKWSSParallel(b *testing.B)  { benchInvoke(b, "MicroNet-KWS-S", kernels.Gemm) }
+
+// BenchmarkInvokeKWSSProfiledHook is the same invoke with a per-op timer
+// installed. Compare against BenchmarkInvokeKWSSParallel to bound the
+// profiling-hook overhead; with no hook set, Invoke takes the untimed
+// path (a single nil check), so the disabled cost is ~0.
+func BenchmarkInvokeKWSSProfiledHook(b *testing.B) {
+	m := loweredModel(b, "MicroNet-KWS-S")
+	ip, err := tflm.NewInterpreterWithEngine(m, 0, kernels.Gemm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink int64
+	ip.SetOpTimer(func(index int, kind graph.OpKind, name string, ns int64) { sink += ns })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ip.Invoke(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.N > 0 && sink < 0 {
+		b.Fatal("impossible negative time")
+	}
+}
 func BenchmarkInvokeKWSLReference(b *testing.B) { benchInvoke(b, "MicroNet-KWS-L", kernels.Reference) }
 func BenchmarkInvokeKWSLParallel(b *testing.B)  { benchInvoke(b, "MicroNet-KWS-L", kernels.Gemm) }
 func BenchmarkInvokeVWWReference(b *testing.B)  { benchInvoke(b, "MicroNet-VWW-1", kernels.Reference) }

@@ -34,14 +34,17 @@ func main() {
 	finalists := flag.Int("finalists", 2, "frontier finalists the search experiment re-ranks with real training runs (0 disables)")
 	trainSteps := flag.Int("train-steps", 30, "training steps per search finalist")
 	graphRequests := flag.Int("graph-requests", 24, "mixed-traffic requests for -exp graph (cascade vs single large model)")
+	profileModel := flag.String("profile-model", "MicroNet-KWS-S", "zoo model for -exp profile (measured vs predicted per-op latency)")
+	profileRuns := flag.Int("profile-runs", 8, "profiled invokes averaged by -exp profile")
 	flag.Parse()
 
-	// engineRows/searchRows/graphReport cache those experiments'
-	// measurements so -json serializes the exact run that was printed, not
-	// a second one.
+	// engineRows/searchRows/graphReport/profileReport cache those
+	// experiments' measurements so -json serializes the exact run that was
+	// printed, not a second one.
 	var engineRows []experiments.EngineRow
 	var searchRows, finalistRows []experiments.SearchRow
 	var graphReport *experiments.GraphReport
+	var profileReport *mcu.Profile
 
 	runners := []struct {
 		id string
@@ -87,6 +90,14 @@ func main() {
 			graphReport = rep
 			return experiments.RenderGraphReport(rep), nil
 		}},
+		{"profile", func() (string, error) {
+			rep, err := experiments.ProfileExperiment(*profileModel, *profileRuns, seed)
+			if err != nil {
+				return "", err
+			}
+			profileReport = rep
+			return experiments.RenderProfileReport(rep), nil
+		}},
 	}
 	ran := false
 	for _, r := range runners {
@@ -100,7 +111,7 @@ func main() {
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.id, out)
 		if *jsonOut {
-			if err := writeJSON(r.id, out, engineRows, searchRows, finalistRows, graphReport); err != nil {
+			if err := writeJSON(r.id, out, engineRows, searchRows, finalistRows, graphReport, profileReport); err != nil {
 				log.Fatalf("%s: write json: %v", r.id, err)
 			}
 		}
@@ -127,11 +138,13 @@ type engineJSONRow struct {
 // still diffable by machine. The search payload carries both the full
 // frontier (proxy-ranked) and the finalist re-rank (trained accuracy),
 // so the proxy-vs-trained gap is tracked across PRs.
-func writeJSON(id, report string, rows []experiments.EngineRow, searchRows, finalistRows []experiments.SearchRow, graphReport *experiments.GraphReport) error {
+func writeJSON(id, report string, rows []experiments.EngineRow, searchRows, finalistRows []experiments.SearchRow, graphReport *experiments.GraphReport, profileReport *mcu.Profile) error {
 	path := fmt.Sprintf("BENCH_%s.json", id)
 	var payload any
 	if id == "graph" && graphReport != nil {
 		payload = map[string]any{"experiment": id, "cascade": graphReport}
+	} else if id == "profile" && profileReport != nil {
+		payload = map[string]any{"experiment": id, "profile": profileReport}
 	} else if id == "search" && searchRows != nil {
 		if finalistRows == nil {
 			finalistRows = []experiments.SearchRow{}

@@ -1,0 +1,320 @@
+// Command loadgen drives the serve HTTP server with open-loop traffic
+// and reports per-target throughput and latency quantiles — the
+// SLO-gated benchmark behind BENCH_serve.json.
+//
+// Open-loop means requests fire on a fixed schedule regardless of how
+// fast earlier ones complete, so queueing delay shows up in the measured
+// latency instead of silently throttling the offered rate (the
+// coordinated-omission trap of closed-loop generators).
+//
+// Usage:
+//
+//	loadgen                                       # all ready models, 20 rps each, 5s
+//	loadgen -targets model:MicroNet-KWS-S -rps 50
+//	loadgen -targets graph:cascade,DSCNN-S -duration 10s
+//	loadgen -slo-p99 250 -out BENCH_serve.json    # exit 1 if any target's p99 > 250ms
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"micronets/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	addr := flag.String("addr", "http://127.0.0.1:8151", "serve base URL")
+	targetsFlag := flag.String("targets", "", "comma-separated targets: model:NAME, graph:NAME, or bare NAME (= model); empty = every ready model")
+	rps := flag.Float64("rps", 20, "offered requests per second, per target")
+	duration := flag.Duration("duration", 5*time.Second, "load duration per target (targets run concurrently)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request timeout")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path ('' disables)")
+	sloP99 := flag.Float64("slo-p99", 0, "p99 latency SLO in ms; any target over it fails the run (0 disables)")
+	seed := flag.Int64("seed", 42, "input-noise seed")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*addr, "/")
+
+	targets, err := resolveTargets(client, base, *targetsFlag, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(targets) == 0 {
+		log.Fatal("no targets: server reports no ready models and -targets is empty")
+	}
+
+	log.Printf("driving %d target(s) at %.0f rps each for %s", len(targets), *rps, *duration)
+	var wg sync.WaitGroup
+	for _, t := range targets {
+		wg.Add(1)
+		go func(t *target) {
+			defer wg.Done()
+			t.run(client, *rps, *duration)
+		}(t)
+	}
+	wg.Wait()
+
+	report := buildReport(targets, *duration, *sloP99)
+	renderReport(os.Stdout, report)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	if !report.SLOPass {
+		log.Fatalf("SLO breach: p99 over %.1f ms on at least one target", *sloP99)
+	}
+}
+
+// target is one traffic stream: a model or graph endpoint plus the
+// pre-encoded request body and the stats it accumulates.
+type target struct {
+	name string // "model:MicroNet-KWS-S" or "graph:cascade"
+	url  string
+	body []byte
+
+	sent      atomic.Uint64
+	completed atomic.Uint64
+	errors    atomic.Uint64
+	hist      obs.Histogram
+}
+
+// resolveTargets parses -targets (or lists every ready model when it is
+// empty), fetches each target's input shape from the server's metadata
+// endpoints, and pre-encodes one random FP32 request body per target.
+func resolveTargets(client *http.Client, base, flagVal string, seed int64) ([]*target, error) {
+	var specs []string
+	if flagVal == "" {
+		var list struct {
+			Models []struct {
+				Name string `json:"name"`
+			} `json:"models"`
+		}
+		if err := getJSON(client, base+"/v2/models", &list); err != nil {
+			return nil, fmt.Errorf("list models at %s: %w", base, err)
+		}
+		for _, m := range list.Models {
+			specs = append(specs, "model:"+m.Name)
+		}
+	} else {
+		for _, s := range strings.Split(flagVal, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]*target, 0, len(specs))
+	for _, spec := range specs {
+		kind, name := "model", spec
+		if k, n, ok := strings.Cut(spec, ":"); ok {
+			kind, name = k, n
+		}
+		var shape []int
+		var inferURL string
+		switch kind {
+		case "model":
+			var meta struct {
+				Inputs []struct {
+					Shape []int `json:"shape"`
+				} `json:"inputs"`
+			}
+			if err := getJSON(client, base+"/v2/models/"+name, &meta); err != nil {
+				return nil, fmt.Errorf("model %s: %w", name, err)
+			}
+			if len(meta.Inputs) == 0 {
+				return nil, fmt.Errorf("model %s: metadata reports no inputs", name)
+			}
+			shape = meta.Inputs[0].Shape
+			inferURL = base + "/v2/models/" + name + "/infer"
+		case "graph":
+			var meta struct {
+				Stats struct {
+					InputShape []int `json:"input_shape"`
+				} `json:"stats"`
+			}
+			if err := getJSON(client, base+"/v2/graphs/"+name, &meta); err != nil {
+				return nil, fmt.Errorf("graph %s: %w", name, err)
+			}
+			shape = meta.Stats.InputShape
+			inferURL = base + "/v2/graphs/" + name + "/infer"
+		default:
+			return nil, fmt.Errorf("target %q: kind must be model: or graph:", spec)
+		}
+		elems := 1
+		for _, d := range shape {
+			elems *= d
+		}
+		if elems <= 0 {
+			return nil, fmt.Errorf("target %s: degenerate input shape %v", spec, shape)
+		}
+		data := make([]float64, elems)
+		for i := range data {
+			data[i] = rng.Float64()*2 - 1
+		}
+		body, err := json.Marshal(map[string]any{
+			"inputs": []map[string]any{{
+				"name": "input", "datatype": "FP32", "shape": shape, "data": data,
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, &target{name: kind + ":" + name, url: inferURL, body: body})
+	}
+	return targets, nil
+}
+
+// run fires requests at the target on an open-loop schedule: one goroutine
+// per tick, so a slow server accumulates in-flight requests (and measured
+// queueing delay) instead of slowing the offered rate.
+func (t *target) run(client *http.Client, rps float64, d time.Duration) {
+	if rps <= 0 {
+		rps = 1
+	}
+	interval := time.Duration(float64(time.Second) / rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(d)
+	var inflight sync.WaitGroup
+	for {
+		select {
+		case <-deadline:
+			inflight.Wait()
+			return
+		case <-ticker.C:
+			t.sent.Add(1)
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				start := time.Now()
+				resp, err := client.Post(t.url, "application/json", bytes.NewReader(t.body))
+				if err != nil {
+					t.errors.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.errors.Add(1)
+					return
+				}
+				t.hist.Observe(time.Since(start))
+				t.completed.Add(1)
+			}()
+		}
+	}
+}
+
+// targetReport is one target's row in BENCH_serve.json.
+type targetReport struct {
+	Target        string  `json:"target"`
+	URL           string  `json:"url"`
+	OfferedRPS    float64 `json:"offered_rps"`
+	Sent          uint64  `json:"sent"`
+	Completed     uint64  `json:"completed"`
+	Errors        uint64  `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// serveReport is the BENCH_serve.json payload: the serving-latency
+// trajectory CI tracks and gates across PRs.
+type serveReport struct {
+	Experiment string         `json:"experiment"`
+	DurationS  float64        `json:"duration_s"`
+	Targets    []targetReport `json:"targets"`
+	SLOP99Ms   float64        `json:"slo_p99_ms,omitempty"`
+	SLOPass    bool           `json:"slo_pass"`
+}
+
+func buildReport(targets []*target, d time.Duration, sloP99 float64) *serveReport {
+	rep := &serveReport{Experiment: "serve", DurationS: d.Seconds(), SLOP99Ms: sloP99, SLOPass: true}
+	for _, t := range targets {
+		snap := t.hist.Snapshot()
+		row := targetReport{
+			Target:        t.name,
+			URL:           t.url,
+			Sent:          t.sent.Load(),
+			Completed:     t.completed.Load(),
+			Errors:        t.errors.Load(),
+			ThroughputRPS: float64(t.completed.Load()) / d.Seconds(),
+			MeanMs:        snap.Mean().Seconds() * 1e3,
+			P50Ms:         snap.P50().Seconds() * 1e3,
+			P95Ms:         snap.P95().Seconds() * 1e3,
+			P99Ms:         snap.P99().Seconds() * 1e3,
+		}
+		if d > 0 {
+			row.OfferedRPS = float64(row.Sent) / d.Seconds()
+		}
+		if t.errors.Load() > 0 || t.completed.Load() == 0 {
+			rep.SLOPass = false
+		}
+		if sloP99 > 0 && row.P99Ms > sloP99 {
+			rep.SLOPass = false
+		}
+		rep.Targets = append(rep.Targets, row)
+	}
+	return rep
+}
+
+func renderReport(w io.Writer, r *serveReport) {
+	fmt.Fprintf(w, "open-loop load, %.1fs per target\n", r.DurationS)
+	fmt.Fprintf(w, "%-28s %9s %9s %7s %10s %9s %9s %9s\n",
+		"target", "sent", "ok", "errs", "thru rps", "p50 ms", "p95 ms", "p99 ms")
+	for _, t := range r.Targets {
+		fmt.Fprintf(w, "%-28s %9d %9d %7d %10.1f %9.2f %9.2f %9.2f\n",
+			t.Target, t.Sent, t.Completed, t.Errors, t.ThroughputRPS, t.P50Ms, t.P95Ms, t.P99Ms)
+	}
+	if r.SLOP99Ms > 0 {
+		status := "PASS"
+		if !r.SLOPass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "SLO p99 <= %.1f ms: %s\n", r.SLOP99Ms, status)
+	}
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -13,6 +13,7 @@
 //	                                        # over budget skipped (boot) or 409'd (admin)
 //	serve -watch-specs frontier.json        # hot-load cmd/search exports on change
 //	serve -no-admin                         # freeze the model and graph sets at boot
+//	serve -debug-addr 127.0.0.1:6060        # net/http/pprof on a separate listener
 //
 // Endpoints:
 //
@@ -37,6 +38,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +66,7 @@ func main() {
 	softmax := flag.Bool("softmax", true, "append the classifier softmax op")
 	seed := flag.Int64("seed", 42, "synthetic-weight seed (equal seeds serve bit-identical models)")
 	logFormat := flag.String("log", "text", "request log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "optional address for the net/http/pprof debug listener (e.g. 127.0.0.1:6060); empty disables")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -109,6 +112,24 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The pprof surface rides a separate listener on a fresh mux, so
+	// profiling endpoints are never exposed on the serving address and die
+	// with the process rather than the drain.
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof debug listener", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	// The server owns the repository; the spec watcher runs inside its
 	// lifecycle, starting strictly after the boot loads so the curated

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"micronets/internal/obs"
 	"micronets/internal/serve"
 	"micronets/internal/servegraph"
 	"micronets/internal/zoo"
@@ -34,10 +35,17 @@ type GraphReport struct {
 	GateHits    uint64  `json:"gate_hits"`
 	Escalations uint64  `json:"escalations"`
 	GateHitRate float64 `json:"gate_hit_rate"`
-	// Mean per-request wall latencies over the same inputs.
+	// Mean per-request wall latencies over the same inputs, with
+	// p50/p99 from the per-path latency histograms.
 	GateMeanMs    float64 `json:"gate_mean_ms"`
+	GateP50Ms     float64 `json:"gate_p50_ms"`
+	GateP99Ms     float64 `json:"gate_p99_ms"`
 	LargeMeanMs   float64 `json:"large_mean_ms"`
+	LargeP50Ms    float64 `json:"large_p50_ms"`
+	LargeP99Ms    float64 `json:"large_p99_ms"`
 	CascadeMeanMs float64 `json:"cascade_mean_ms"`
+	CascadeP50Ms  float64 `json:"cascade_p50_ms"`
+	CascadeP99Ms  float64 `json:"cascade_p99_ms"`
 	// Speedup is LargeMeanMs / CascadeMeanMs — >1 means the cascade beats
 	// serving everything on the large model.
 	Speedup float64 `json:"speedup_vs_large"`
@@ -87,10 +95,13 @@ func GraphExperiment(n int, seed int64) (*GraphReport, error) {
 	}
 
 	ctx := context.Background()
-	timeInfer := func(model string, x []float64) (servegraph.Scored, float64, error) {
+	var gateHist, largeHist, cascadeHist obs.Histogram
+	timeInfer := func(model string, x []float64, h *obs.Histogram) (servegraph.Scored, float64, error) {
 		start := time.Now()
 		s, err := backend.Infer(ctx, model, x)
-		return s, time.Since(start).Seconds() * 1e3, err
+		d := time.Since(start)
+		h.Observe(d)
+		return s, d.Seconds() * 1e3, err
 	}
 
 	// Profile both models on the whole traffic: the gate pass yields the
@@ -100,7 +111,7 @@ func GraphExperiment(n int, seed int64) (*GraphReport, error) {
 	largeClasses := make([]int, n)
 	var gateMs, largeMs float64
 	for i, x := range inputs {
-		s, ms, err := timeInfer(gateName, x)
+		s, ms, err := timeInfer(gateName, x, &gateHist)
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +124,7 @@ func GraphExperiment(n int, seed int64) (*GraphReport, error) {
 		}
 		confidences[i] = s.Probs[best]
 
-		s, ms, err = timeInfer(largeName, x)
+		s, ms, err = timeInfer(largeName, x, &largeHist)
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +172,9 @@ func GraphExperiment(n int, seed int64) (*GraphReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		cascadeMs += time.Since(start).Seconds() * 1e3
+		d := time.Since(start)
+		cascadeHist.Observe(d)
+		cascadeMs += d.Seconds() * 1e3
 		if res.Class == largeClasses[i] {
 			agree++
 		}
@@ -194,8 +207,14 @@ func GraphExperiment(n int, seed int64) (*GraphReport, error) {
 		Escalations:   escalations,
 		GateHitRate:   float64(gateHits) / float64(n),
 		GateMeanMs:    gateMs / float64(n),
+		GateP50Ms:     gateHist.Snapshot().P50().Seconds() * 1e3,
+		GateP99Ms:     gateHist.Snapshot().P99().Seconds() * 1e3,
 		LargeMeanMs:   largeMs / float64(n),
+		LargeP50Ms:    largeHist.Snapshot().P50().Seconds() * 1e3,
+		LargeP99Ms:    largeHist.Snapshot().P99().Seconds() * 1e3,
 		CascadeMeanMs: cascadeMs / float64(n),
+		CascadeP50Ms:  cascadeHist.Snapshot().P50().Seconds() * 1e3,
+		CascadeP99Ms:  cascadeHist.Snapshot().P99().Seconds() * 1e3,
 		Agreement:     float64(agree) / float64(n),
 	}
 	if rep.CascadeMeanMs > 0 {
@@ -210,10 +229,10 @@ func RenderGraphReport(r *GraphReport) string {
 	fmt.Fprintf(&b, "Inference-graph cascade vs single large model (%d mixed requests)\n", r.Requests)
 	fmt.Fprintf(&b, "gate %s (%.1f MOps), fallback %s (%.1f MOps), early-exit confidence %.3f\n",
 		r.Gate, r.GateMOps, r.Large, r.LargeMOps, r.Threshold)
-	fmt.Fprintf(&b, "%-22s %12s %14s\n", "path", "mean ms/req", "vs large-only")
-	fmt.Fprintf(&b, "%-22s %12.2f %14s\n", r.Gate+" only", r.GateMeanMs, "-")
-	fmt.Fprintf(&b, "%-22s %12.2f %14.2fx\n", r.Large+" only", r.LargeMeanMs, 1.0)
-	fmt.Fprintf(&b, "%-22s %12.2f %14.2fx\n", "cascade", r.CascadeMeanMs, r.Speedup)
+	fmt.Fprintf(&b, "%-22s %12s %10s %10s %14s\n", "path", "mean ms/req", "p50 ms", "p99 ms", "vs large-only")
+	fmt.Fprintf(&b, "%-22s %12.2f %10.2f %10.2f %14s\n", r.Gate+" only", r.GateMeanMs, r.GateP50Ms, r.GateP99Ms, "-")
+	fmt.Fprintf(&b, "%-22s %12.2f %10.2f %10.2f %14.2fx\n", r.Large+" only", r.LargeMeanMs, r.LargeP50Ms, r.LargeP99Ms, 1.0)
+	fmt.Fprintf(&b, "%-22s %12.2f %10.2f %10.2f %14.2fx\n", "cascade", r.CascadeMeanMs, r.CascadeP50Ms, r.CascadeP99Ms, r.Speedup)
 	fmt.Fprintf(&b, "gate answered %d/%d requests (%.0f%%), %d escalated; cascade agrees with %s on %.0f%% of answers\n",
 		r.GateHits, r.Requests, 100*r.GateHitRate, r.Escalations, r.Large, 100*r.Agreement)
 	b.WriteString("(the tiny gate absorbs the easy majority, so blended latency approaches the gate's — the serving-side version of the paper's per-inference op budget)\n")

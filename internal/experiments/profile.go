@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"micronets/internal/graph"
+	"micronets/internal/mcu"
+	"micronets/internal/tflm"
+	"micronets/internal/zoo"
+)
+
+// ProfileExperiment measures per-op wall time for a zoo model on this
+// host (averaged over runs profiled invokes, after one warm-up) and
+// joins it against the mcu cost model's per-op cycle predictions — the
+// offline twin of GET /v2/models/{name}/profile, and the source of the
+// README's predicted-vs-actual table.
+func ProfileExperiment(model string, runs int, seed int64) (*mcu.Profile, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	e, err := zoo.Get(model)
+	if err != nil {
+		return nil, err
+	}
+	if e.Spec == nil {
+		return nil, fmt.Errorf("experiments: %s is a stats-only comparison point (no public architecture)", model)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m, err := graph.FromSpec(e.Spec, rng, graph.LowerOptions{AppendSoftmax: e.Spec.NumClasses > 1})
+	if err != nil {
+		return nil, err
+	}
+	ip, err := tflm.NewInterpreter(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	in := ip.Input()
+	fill := func() {
+		for i := range in {
+			in[i] = int8(i%251 - 125)
+		}
+	}
+	fill()
+	if err := ip.Invoke(); err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(m.Ops))
+	for run := 0; run < runs; run++ {
+		fill()
+		timings, err := ip.ProfileInvoke()
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range timings {
+			sums[t.Index] += float64(t.Ns)
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(runs)
+	}
+	return mcu.JoinProfile(m, sums, runs)
+}
+
+// RenderProfileReport formats a Profile as the bench text table:
+// one row per op, measured vs predicted shares and the per-op ratio.
+func RenderProfileReport(p *mcu.Profile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-op measured latency vs cost-model prediction — %s (%d runs)\n", p.Model, p.Runs)
+	fmt.Fprintf(&b, "%-4s %-20s %-12s %12s %9s %9s %7s\n",
+		"#", "kind", "op", "measured µs", "meas %", "pred %", "ratio")
+	for _, o := range p.Ops {
+		fmt.Fprintf(&b, "%-4d %-20s %-12s %12.1f %8.1f%% %8.1f%% %7.2f\n",
+			o.Index, o.Kind, o.Name, o.MeasuredNs/1e3,
+			100*o.MeasuredShare, 100*o.PredictedShare, o.Ratio)
+	}
+	fmt.Fprintf(&b, "total %.2f ms measured over %.0f predicted cycles (%.3f ns/cycle), linear-fit R² = %.3f\n",
+		p.TotalMeasuredNs/1e6, p.TotalPredictedCycles, p.NsPerCycle, p.R2)
+	b.WriteString("(ratio = measured share / predicted share; near-1 ratios and high R² are the paper's §3 linearity claim holding on this host)\n")
+	return b.String()
+}

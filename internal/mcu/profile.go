@@ -1,0 +1,120 @@
+package mcu
+
+import (
+	"fmt"
+
+	"micronets/internal/graph"
+)
+
+// OpProfile is one row of a measured-vs-predicted join: the op's wall
+// time on the serving host against the cost model's M7-baseline cycle
+// prediction. Shares (fractions of the model total) are the scale-free
+// comparison — if the paper's §3 linearity claim holds, MeasuredShare
+// tracks PredictedShare and Ratio sits near 1 for every op.
+type OpProfile struct {
+	Index           int     `json:"index"`
+	Kind            string  `json:"kind"`
+	Name            string  `json:"name"`
+	MeasuredNs      float64 `json:"measured_ns"`
+	MeasuredShare   float64 `json:"measured_share"`
+	PredictedCycles float64 `json:"predicted_cycles"`
+	PredictedShare  float64 `json:"predicted_share"`
+	// Ratio = MeasuredShare / PredictedShare: >1 means the op is slower
+	// than the model expects relative to its peers, <1 faster.
+	Ratio float64 `json:"ratio"`
+	// NsPerCycle is the op's own measured-ns-per-predicted-cycle — the
+	// per-op linearity constant.
+	NsPerCycle float64 `json:"ns_per_cycle"`
+}
+
+// Profile is a whole-model measured-vs-predicted join.
+type Profile struct {
+	Model                string  `json:"model"`
+	Runs                 int     `json:"runs"`
+	TotalMeasuredNs      float64 `json:"total_measured_ns"`
+	TotalPredictedCycles float64 `json:"total_predicted_cycles"`
+	// NsPerCycle is the whole-model linearity constant (total measured
+	// ns over total predicted cycles).
+	NsPerCycle float64 `json:"ns_per_cycle"`
+	// R2 is the coefficient of determination of the per-op linear fit
+	// measured_ns ≈ NsPerCycle × predicted_cycles through the origin —
+	// the live check of the paper's §3 claim that latency is linear in
+	// modeled op cost (1.0 = perfectly linear).
+	R2  float64     `json:"r2"`
+	Ops []OpProfile `json:"ops"`
+}
+
+// JoinProfile joins measured per-op wall times (ns, averaged over runs,
+// in op execution order — e.g. from tflm.Interpreter.ProfileInvoke)
+// against OpCycles predictions for the same model. It errors if the
+// measurement has the wrong op count or if any op is unmodeled, so a
+// profile can never silently compare mismatched tables.
+func JoinProfile(m *graph.Model, measuredNs []float64, runs int) (*Profile, error) {
+	if len(measuredNs) != len(m.Ops) {
+		return nil, fmt.Errorf("mcu: profile has %d measured ops, model %s has %d", len(measuredNs), m.Name, len(m.Ops))
+	}
+	p := &Profile{Model: m.Name, Runs: runs, Ops: make([]OpProfile, len(m.Ops))}
+	for i := range m.Ops {
+		op := m.Ops[i]
+		cycles, err := OpCycles(m, op)
+		if err != nil {
+			return nil, fmt.Errorf("mcu: profile op %d (%s %q): %w", i, op.Kind, op.Name, err)
+		}
+		p.Ops[i] = OpProfile{
+			Index:           i,
+			Kind:            op.Kind.String(),
+			Name:            op.Name,
+			MeasuredNs:      measuredNs[i],
+			PredictedCycles: cycles,
+		}
+		p.TotalMeasuredNs += measuredNs[i]
+		p.TotalPredictedCycles += cycles
+	}
+	if p.TotalPredictedCycles > 0 {
+		p.NsPerCycle = p.TotalMeasuredNs / p.TotalPredictedCycles
+	}
+	for i := range p.Ops {
+		o := &p.Ops[i]
+		if p.TotalMeasuredNs > 0 {
+			o.MeasuredShare = o.MeasuredNs / p.TotalMeasuredNs
+		}
+		if p.TotalPredictedCycles > 0 {
+			o.PredictedShare = o.PredictedCycles / p.TotalPredictedCycles
+		}
+		if o.PredictedShare > 0 {
+			o.Ratio = o.MeasuredShare / o.PredictedShare
+		}
+		if o.PredictedCycles > 0 {
+			o.NsPerCycle = o.MeasuredNs / o.PredictedCycles
+		}
+	}
+	p.R2 = rSquaredThroughOrigin(p.Ops, p.NsPerCycle)
+	return p, nil
+}
+
+// rSquaredThroughOrigin scores how well measured_ns = k × cycles fits
+// the per-op points, relative to the mean-only baseline.
+func rSquaredThroughOrigin(ops []OpProfile, k float64) float64 {
+	if len(ops) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, o := range ops {
+		mean += o.MeasuredNs
+	}
+	mean /= float64(len(ops))
+	var ssRes, ssTot float64
+	for _, o := range ops {
+		r := o.MeasuredNs - k*o.PredictedCycles
+		ssRes += r * r
+		d := o.MeasuredNs - mean
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,81 @@
+package mcu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJoinProfileShares(t *testing.T) {
+	m := model(t, "DSCNN-S", 7)
+	// Perfectly linear measurement: ns = 2 × predicted cycles.
+	measured := make([]float64, len(m.Ops))
+	var totalCycles float64
+	for i := range m.Ops {
+		c, err := OpCycles(m, m.Ops[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured[i] = 2 * c
+		totalCycles += c
+	}
+	p, err := JoinProfile(m, measured, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model != m.Name || p.Runs != 4 || len(p.Ops) != len(m.Ops) {
+		t.Fatalf("header mismatch: %+v", p)
+	}
+	if math.Abs(p.NsPerCycle-2) > 1e-9 {
+		t.Fatalf("NsPerCycle = %v, want 2", p.NsPerCycle)
+	}
+	if math.Abs(p.R2-1) > 1e-9 {
+		t.Fatalf("perfectly linear data should give R2 = 1, got %v", p.R2)
+	}
+	if math.Abs(p.TotalPredictedCycles-totalCycles) > 1e-6 {
+		t.Fatalf("total cycles %v, want %v", p.TotalPredictedCycles, totalCycles)
+	}
+	var mShare, pShare float64
+	for _, o := range p.Ops {
+		mShare += o.MeasuredShare
+		pShare += o.PredictedShare
+		if o.PredictedCycles > 0 {
+			if math.Abs(o.Ratio-1) > 1e-9 {
+				t.Fatalf("op %d ratio = %v, want 1 for linear data", o.Index, o.Ratio)
+			}
+			if math.Abs(o.NsPerCycle-2) > 1e-9 {
+				t.Fatalf("op %d ns/cycle = %v, want 2", o.Index, o.NsPerCycle)
+			}
+		}
+	}
+	if math.Abs(mShare-1) > 1e-9 || math.Abs(pShare-1) > 1e-9 {
+		t.Fatalf("shares must each sum to 1: measured %v predicted %v", mShare, pShare)
+	}
+}
+
+func TestJoinProfileNonlinearR2(t *testing.T) {
+	m := model(t, "DSCNN-S", 8)
+	// One op wildly off-model should pull R2 below 1.
+	measured := make([]float64, len(m.Ops))
+	for i := range m.Ops {
+		c, err := OpCycles(m, m.Ops[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured[i] = 2 * c
+	}
+	measured[0] += 100 * measured[0]
+	p, err := JoinProfile(m, measured, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R2 >= 0.999 {
+		t.Fatalf("distorted data should lower R2, got %v", p.R2)
+	}
+}
+
+func TestJoinProfileLengthMismatch(t *testing.T) {
+	m := model(t, "DSCNN-S", 9)
+	if _, err := JoinProfile(m, make([]float64, len(m.Ops)+1), 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

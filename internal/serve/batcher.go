@@ -4,9 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"micronets/internal/obs"
 )
 
 // ErrDraining is returned by Submit once the batcher has been closed —
@@ -23,6 +27,9 @@ type BatcherConfig struct {
 	// window adaptively shrinks well below this, so idle-period requests
 	// pay almost none of it.
 	MaxDelay time.Duration
+	// Logger receives batch-invoke error lines (with the trace IDs of
+	// the failed requests). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *BatcherConfig) fill() {
@@ -60,6 +67,16 @@ type Batcher struct {
 type batchReq struct {
 	in   []int8
 	resp chan batchResp
+	// enq marks when the request entered the queue; the flush worker
+	// subtracts it from the invoke start to get per-request queue wait.
+	enq time.Time
+	// trace/parent carry the request's tracing state (both nil when the
+	// caller did not opt in); the flush worker adds queue/invoke child
+	// spans post hoc. traceID is the bare correlation ID every request
+	// carries, for batch-error log lines.
+	trace   *obs.Trace
+	parent  *obs.SpanHandle
+	traceID string
 }
 
 type batchResp struct {
@@ -108,8 +125,15 @@ func (b *Batcher) Submit(ctx context.Context, in []int8) ([]int8, error) {
 		b.entry.stats.errors.Add(1)
 		return nil, fmt.Errorf("serve: model %s: input has %d elements, want %d", b.entry.Name, len(in), want)
 	}
-	r := &batchReq{in: in, resp: make(chan batchResp, 1)}
 	start := time.Now()
+	r := &batchReq{
+		in:      in,
+		resp:    make(chan batchResp, 1),
+		enq:     start,
+		trace:   obs.TraceFrom(ctx),
+		parent:  obs.SpanFrom(ctx),
+		traceID: obs.TraceIDFrom(ctx),
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -194,18 +218,41 @@ func (b *Batcher) flush(batch []*batchReq) {
 		// An InvokeBatch error (impossible for length-validated inputs
 		// short of a kernel bug) fails every request in the batch
 		// identically.
+		invokeStart := time.Now()
 		outs, err := ip.InvokeBatch(inputs)
+		invokeDur := time.Since(invokeStart)
 		if err != nil {
 			ip.Reset()
 		}
 		b.entry.Pool.Put(ip)
 		b.entry.stats.observeBatch(len(batch))
+		b.entry.stats.invoke.Observe(invokeDur)
 		for i, r := range batch {
+			b.entry.stats.queueWait.Observe(invokeStart.Sub(r.enq))
+			if r.trace != nil {
+				r.trace.Add("queue", r.parent, r.enq, invokeStart.Sub(r.enq), map[string]string{
+					"model": b.entry.Name, "batch": fmt.Sprint(len(batch)),
+				})
+				r.trace.Add("invoke", r.parent, invokeStart, invokeDur, map[string]string{
+					"model": b.entry.Name, "batch": fmt.Sprint(len(batch)),
+				})
+			}
 			if err != nil {
 				r.resp <- batchResp{err: err}
 				continue
 			}
 			r.resp <- batchResp{out: outs[i]}
+		}
+		if err != nil && b.cfg.Logger != nil {
+			ids := make([]string, 0, len(batch))
+			for _, r := range batch {
+				if r.traceID != "" {
+					ids = append(ids, r.traceID)
+				}
+			}
+			b.cfg.Logger.Error("batch invoke failed",
+				"model", b.entry.Name, "batch", len(batch),
+				"traces", strings.Join(ids, ","), "err", err)
 		}
 	}()
 }
@@ -220,6 +267,12 @@ type stats struct {
 	batchMax atomic.Uint64
 	latNsSum atomic.Uint64
 	latCount atomic.Uint64
+	// latency is end-to-end Submit latency (queue + invoke); queueWait
+	// and invoke split it so a p99 regression is attributable to
+	// batching pressure vs kernel time.
+	latency   obs.Histogram
+	queueWait obs.Histogram
+	invoke    obs.Histogram
 }
 
 func (s *stats) observeBatch(n int) {
@@ -237,6 +290,7 @@ func (s *stats) observeBatch(n int) {
 func (s *stats) observeLatency(d time.Duration) {
 	s.latNsSum.Add(uint64(d.Nanoseconds()))
 	s.latCount.Add(1)
+	s.latency.Observe(d)
 }
 
 // StatsSnapshot is a point-in-time copy of one model's counters.
@@ -248,6 +302,11 @@ type StatsSnapshot struct {
 	BatchSizeMax uint64
 	LatencyNsSum uint64
 	LatencyCount uint64
+	// Latency, QueueWait and Invoke are the full histograms behind the
+	// /metrics histogram families and /v2 stats quantiles.
+	Latency   obs.Snapshot `json:"-"`
+	QueueWait obs.Snapshot `json:"-"`
+	Invoke    obs.Snapshot `json:"-"`
 }
 
 func (s *stats) snapshot() StatsSnapshot {
@@ -259,5 +318,8 @@ func (s *stats) snapshot() StatsSnapshot {
 		BatchSizeMax: s.batchMax.Load(),
 		LatencyNsSum: s.latNsSum.Load(),
 		LatencyCount: s.latCount.Load(),
+		Latency:      s.latency.Snapshot(),
+		QueueWait:    s.queueWait.Snapshot(),
+		Invoke:       s.invoke.Snapshot(),
 	}
 }

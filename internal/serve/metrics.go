@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"micronets/internal/obs"
 	"micronets/internal/servegraph"
 )
 
@@ -50,15 +51,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(v *version) uint64 { return v.entry.Stats().BatchSizeSum })
 	counter("micronets_serve_batch_size_max", "Largest batch coalesced so far.",
 		func(v *version) uint64 { return v.entry.Stats().BatchSizeMax })
-	counter("micronets_serve_request_latency_seconds_count", "Requests with measured queue+invoke latency.",
-		func(v *version) uint64 { return v.entry.Stats().LatencyCount })
 
-	fmt.Fprintf(&b, "# HELP micronets_serve_request_latency_seconds_sum Total queue+invoke latency.\n")
-	fmt.Fprintf(&b, "# TYPE micronets_serve_request_latency_seconds_sum counter\n")
-	for _, v := range actives {
-		fmt.Fprintf(&b, "micronets_serve_request_latency_seconds_sum{model=%q} %.6f\n",
-			v.name, float64(v.entry.Stats().LatencyNsSum)/1e9)
+	histogram := func(name, help string, val func(StatsSnapshot) obs.Snapshot) {
+		obs.WriteHistogramHead(&b, name, help)
+		for _, v := range actives {
+			val(v.entry.Stats()).WritePrometheus(&b, name, fmt.Sprintf("model=%q", v.name))
+		}
 	}
+	histogram("micronets_serve_request_latency_seconds", "End-to-end request latency (queue wait + invoke).",
+		func(s StatsSnapshot) obs.Snapshot { return s.Latency })
+	histogram("micronets_serve_queue_wait_seconds", "Time requests spent queued before their batch ran.",
+		func(s StatsSnapshot) obs.Snapshot { return s.QueueWait })
+	histogram("micronets_serve_invoke_seconds", "InvokeBatch wall time per batch.",
+		func(s StatsSnapshot) obs.Snapshot { return s.Invoke })
 
 	gauge := func(name, help string, val func(*version) int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
@@ -127,13 +132,9 @@ func (s *Server) writeGraphMetrics(b *strings.Builder) {
 		func(g servegraph.GraphStats) uint64 { return g.Requests })
 	graphCounter("micronets_graph_request_errors_total", "Graph requests that failed.",
 		func(g servegraph.GraphStats) uint64 { return g.Errors })
-	graphCounter("micronets_graph_request_latency_seconds_count", "Graph requests with measured end-to-end latency.",
-		func(g servegraph.GraphStats) uint64 { return g.LatencyN })
-	fmt.Fprintf(b, "# HELP micronets_graph_request_latency_seconds_sum Total end-to-end graph routing latency.\n")
-	fmt.Fprintf(b, "# TYPE micronets_graph_request_latency_seconds_sum counter\n")
+	obs.WriteHistogramHead(b, "micronets_graph_request_latency_seconds", "End-to-end graph routing latency.")
 	for _, g := range snaps {
-		fmt.Fprintf(b, "micronets_graph_request_latency_seconds_sum{graph=%q} %.6f\n",
-			g.Name, float64(g.LatencyNs)/1e9)
+		g.Latency.WritePrometheus(b, "micronets_graph_request_latency_seconds", fmt.Sprintf("graph=%q", g.Name))
 	}
 	fmt.Fprintf(b, "# HELP micronets_graph_revision Times the graph name has been (re)registered.\n")
 	fmt.Fprintf(b, "# TYPE micronets_graph_revision gauge\n")

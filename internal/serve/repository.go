@@ -327,7 +327,7 @@ func (r *Repository) load(spec *arch.Spec, opts ModelOptions, requireExisting bo
 			return ModelStatus{}, fmt.Errorf("serve: load %s: %w", name, err)
 		}
 		v.entry = entry
-		v.batcher = NewBatcher(entry, BatcherConfig{MaxBatch: v.maxBatch, MaxDelay: r.cfg.Batch.MaxDelay})
+		v.batcher = NewBatcher(entry, BatcherConfig{MaxBatch: v.maxBatch, MaxDelay: r.cfg.Batch.MaxDelay, Logger: r.cfg.Logger})
 
 		// Blue/green swap: publish only the fully warmed version, retire
 		// the one it replaces.

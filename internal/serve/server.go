@@ -16,6 +16,7 @@ import (
 
 	"micronets/internal/arch"
 	"micronets/internal/graph"
+	"micronets/internal/obs"
 	"micronets/internal/servegraph"
 	"micronets/internal/zoo"
 )
@@ -154,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v2/health/ready", s.handleReady)
 	s.mux.HandleFunc("GET /v2/models", s.handleModels)
 	s.mux.HandleFunc("GET /v2/models/{name}", s.handleModelMeta)
+	s.mux.HandleFunc("GET /v2/models/{name}/profile", s.handleProfile)
 	s.mux.HandleFunc("POST /v2/models/{name}/infer", s.handleInfer)
 	s.mux.HandleFunc("GET /v2/graphs", s.handleGraphList)
 	s.mux.HandleFunc("GET /v2/graphs/{name}", s.handleGraphGet)
@@ -592,6 +594,8 @@ func (s *Server) handleRepoLoad(w http.ResponseWriter, r *http.Request) {
 			writeRepoError(w, err)
 			return
 		}
+		s.log.Info("model load", "model", name, "version", st.Version,
+			"source", "inline-spec", "trace", obs.TraceIDFrom(r.Context()))
 		writeJSON(w, http.StatusOK, st)
 		return
 	}
@@ -617,6 +621,8 @@ func (s *Server) handleRepoLoad(w http.ResponseWriter, r *http.Request) {
 		writeRepoError(w, err)
 		return
 	}
+	s.log.Info("model load", "model", name, "version", st.Version,
+		"source", "catalogue", "trace", obs.TraceIDFrom(r.Context()))
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -638,6 +644,7 @@ func (s *Server) handleRepoUnload(w http.ResponseWriter, r *http.Request) {
 		writeRepoError(w, err)
 		return
 	}
+	s.log.Info("model unload", "model", name, "trace", obs.TraceIDFrom(r.Context()))
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "state": StateDraining})
 }
 
@@ -730,15 +737,28 @@ type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	// beforeHeader runs once, immediately before the first WriteHeader
+	// or Write, while response headers are still mutable — the trace
+	// middleware uses it to finish the root span and attach the span
+	// JSON header.
+	beforeHeader func()
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
+	if sw.beforeHeader != nil {
+		sw.beforeHeader()
+		sw.beforeHeader = nil
+	}
 	sw.status = code
 	sw.ResponseWriter.WriteHeader(code)
 }
 
 func (sw *statusWriter) Write(p []byte) (int, error) {
 	if sw.status == 0 {
+		if sw.beforeHeader != nil {
+			sw.beforeHeader()
+			sw.beforeHeader = nil
+		}
 		sw.status = http.StatusOK
 	}
 	n, err := sw.ResponseWriter.Write(p)
@@ -746,12 +766,36 @@ func (sw *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// logMiddleware emits one structured line per request.
+// logMiddleware stamps every request with a trace ID (honoring an
+// inbound X-Micronets-Trace-Id so multi-hop setups correlate), emits one
+// structured line per request, and — when the client opts in by sending
+// an X-Micronets-Trace header — collects a full span tree and returns it
+// as JSON in the X-Micronets-Trace response header.
 func (s *Server) logMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		traceID := r.Header.Get("X-Micronets-Trace-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		ctx := obs.ContextWithTraceID(r.Context(), traceID)
 		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Micronets-Trace-Id", traceID)
+		if r.Header.Get("X-Micronets-Trace") != "" {
+			tr := obs.NewTraceWithID(traceID)
+			root := tr.Start("request", nil)
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+			ctx = obs.ContextWithTrace(ctx, tr)
+			ctx = obs.ContextWithSpan(ctx, root)
+			sw.beforeHeader = func() {
+				root.End()
+				if js, err := json.Marshal(tr.Spans()); err == nil {
+					sw.Header().Set("X-Micronets-Trace", string(js))
+				}
+			}
+		}
 		start := time.Now()
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, r.WithContext(ctx))
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
@@ -762,6 +806,7 @@ func (s *Server) logMiddleware(next http.Handler) http.Handler {
 			"bytes", sw.bytes,
 			"dur_ms", float64(time.Since(start).Microseconds())/1000,
 			"remote", r.RemoteAddr,
+			"trace", traceID,
 		)
 	})
 }

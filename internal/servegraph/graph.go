@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"micronets/internal/obs"
 )
 
 // ModelInfo is what the router needs to know about a loaded model to
@@ -107,8 +109,7 @@ type Graph struct {
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
-	latNsSum atomic.Uint64
-	latCount atomic.Uint64
+	lat      obs.Histogram
 }
 
 // Spec returns a copy of the registered spec.
@@ -303,13 +304,24 @@ func (g *Graph) Infer(ctx context.Context, x []float64, route string) (*Result, 
 		g.errors.Add(1)
 		return nil, err
 	}
-	g.latNsSum.Add(uint64(time.Since(start).Nanoseconds()))
-	g.latCount.Add(1)
+	g.lat.Observe(time.Since(start))
 	return res, nil
 }
 
 func (g *Graph) eval(ctx context.Context, n *cnode, x []float64, route string) (*Result, error) {
 	n.requests.Add(1)
+	// A traced request gets one child span per visited node, so a
+	// cascade escalation shows up as sibling stage spans with their own
+	// durations.
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		span := tr.Start(g.spec.Name+"/"+n.label, obs.SpanFrom(ctx))
+		span.SetAttr("kind", n.kind)
+		if n.model != "" {
+			span.SetAttr("model", n.model)
+		}
+		ctx = obs.ContextWithSpan(ctx, span)
+		defer span.End()
+	}
 	res, err := g.evalKind(ctx, n, x, route)
 	if err != nil {
 		n.errors.Add(1)

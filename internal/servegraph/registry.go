@@ -4,6 +4,8 @@ import (
 	"context"
 	"sort"
 	"sync"
+
+	"micronets/internal/obs"
 )
 
 // Registry holds the registered graphs of one server. All methods are
@@ -124,27 +126,38 @@ type NodeStats struct {
 // GraphStats is a point-in-time snapshot of one graph's counters — the
 // payload of GET /v2/graphs/{name} and the source of /metrics families.
 type GraphStats struct {
-	Name        string      `json:"name"`
-	Revision    int         `json:"revision"`
-	Requests    uint64      `json:"requests"`
-	Errors      uint64      `json:"errors"`
-	LatencyNs   uint64      `json:"latency_ns_sum"`
-	LatencyN    uint64      `json:"latency_count"`
-	Models      []string    `json:"models"`
-	Nodes       []NodeStats `json:"nodes"`
-	InputShape  []int       `json:"input_shape"`
-	OutputElems int         `json:"output_elems"`
+	Name      string `json:"name"`
+	Revision  int    `json:"revision"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	LatencyNs uint64 `json:"latency_ns_sum"`
+	LatencyN  uint64 `json:"latency_count"`
+	// P50/P95/P99 come from the graph's latency histogram; Latency is
+	// the full snapshot behind them, rendered on /metrics.
+	P50Ms       float64      `json:"p50_ms"`
+	P95Ms       float64      `json:"p95_ms"`
+	P99Ms       float64      `json:"p99_ms"`
+	Latency     obs.Snapshot `json:"-"`
+	Models      []string     `json:"models"`
+	Nodes       []NodeStats  `json:"nodes"`
+	InputShape  []int        `json:"input_shape"`
+	OutputElems int          `json:"output_elems"`
 }
 
 // Stats snapshots one graph's counters.
 func (g *Graph) Stats() GraphStats {
+	lat := g.lat.Snapshot()
 	st := GraphStats{
 		Name:        g.spec.Name,
 		Revision:    g.revision,
 		Requests:    g.requests.Load(),
 		Errors:      g.errors.Load(),
-		LatencyNs:   g.latNsSum.Load(),
-		LatencyN:    g.latCount.Load(),
+		LatencyNs:   uint64(lat.SumNs),
+		LatencyN:    lat.Count,
+		P50Ms:       lat.P50().Seconds() * 1e3,
+		P95Ms:       lat.P95().Seconds() * 1e3,
+		P99Ms:       lat.P99().Seconds() * 1e3,
+		Latency:     lat,
 		Models:      g.Models(),
 		InputShape:  []int{g.InputH, g.InputW, g.InputC},
 		OutputElems: g.OutputElems,

@@ -3,6 +3,7 @@ package tflm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"micronets/internal/graph"
 	"micronets/internal/kernels"
@@ -23,6 +24,29 @@ type Interpreter struct {
 	// (planner-accounted, see Plan.ScratchBytes).
 	scratch []int8
 	ctxs    []*kernels.Ctx
+	// opTimer, when non-nil, receives each op's wall time during Invoke.
+	// The nil check is hoisted out of the hot loop so the disabled case
+	// costs one branch per Invoke, not per op.
+	opTimer OpTimerFunc
+}
+
+// OpTimerFunc observes one executed op: its index in the model's op
+// list, kind, name, and wall-clock nanoseconds. It is called inline on
+// the invoke path, so implementations must be cheap and must not block.
+type OpTimerFunc func(index int, kind graph.OpKind, name string, ns int64)
+
+// SetOpTimer installs (or with nil, removes) the per-op timing hook.
+// Not safe to call concurrently with Invoke — profile on an interpreter
+// you own, e.g. one checked out of a pool.
+func (ip *Interpreter) SetOpTimer(fn OpTimerFunc) { ip.opTimer = fn }
+
+// OpTiming is one row of a profiled invoke: measured wall time for one
+// op, ready to join against the mcu cost model's predicted cycles.
+type OpTiming struct {
+	Index int
+	Kind  graph.OpKind
+	Name  string
+	Ns    int64
 }
 
 // NewInterpreter plans memory and prepares kernels for the default
@@ -160,12 +184,47 @@ func (ip *Interpreter) OutputFloat() []float32 {
 // the failing op's index, type and name so a CI benchmark failure is
 // diagnosable from the log alone.
 func (ip *Interpreter) Invoke() error {
+	if ip.opTimer != nil {
+		return ip.invokeTimed()
+	}
 	for i, op := range ip.model.Ops {
 		if err := kernels.RunWith(ip.engine, ip.model, op, ip.ctxs[i], ip.bufs, ip.scratch); err != nil {
 			return fmt.Errorf("tflm: model %s: op %d (%s %q): %w", ip.model.Name, i, op.Kind, op.Name, err)
 		}
 	}
 	return nil
+}
+
+// invokeTimed is Invoke with the per-op timer active, kept out of line
+// so the common untimed loop stays branch-free per op.
+func (ip *Interpreter) invokeTimed() error {
+	for i, op := range ip.model.Ops {
+		start := time.Now()
+		err := kernels.RunWith(ip.engine, ip.model, op, ip.ctxs[i], ip.bufs, ip.scratch)
+		ip.opTimer(i, op.Kind, op.Name, time.Since(start).Nanoseconds())
+		if err != nil {
+			return fmt.Errorf("tflm: model %s: op %d (%s %q): %w", ip.model.Name, i, op.Kind, op.Name, err)
+		}
+	}
+	return nil
+}
+
+// ProfileInvoke runs one invoke with a temporary timing hook and
+// returns the measured per-op table in execution order. Any previously
+// installed hook is restored afterwards. The input buffer is used as-is
+// (set it first, or profile on whatever the arena holds).
+func (ip *Interpreter) ProfileInvoke() ([]OpTiming, error) {
+	prev := ip.opTimer
+	timings := make([]OpTiming, 0, len(ip.model.Ops))
+	ip.opTimer = func(index int, kind graph.OpKind, name string, ns int64) {
+		timings = append(timings, OpTiming{Index: index, Kind: kind, Name: name, Ns: ns})
+	}
+	err := ip.Invoke()
+	ip.opTimer = prev
+	if err != nil {
+		return nil, err
+	}
+	return timings, nil
 }
 
 // InvokeBatch runs the model once per input buffer, reusing the memory

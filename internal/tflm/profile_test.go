@@ -1,0 +1,93 @@
+package tflm
+
+import (
+	"math/rand"
+	"testing"
+
+	"micronets/internal/graph"
+	"micronets/internal/tensor"
+)
+
+func TestOpTimerSeesEveryOp(t *testing.T) {
+	m := lowered(t, 11)
+	ip, err := NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	if err := ip.SetInputFloat(tensor.Randn(rng, 1, 49, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	ip.SetOpTimer(func(index int, kind graph.OpKind, name string, ns int64) {
+		if kind != m.Ops[index].Kind || name != m.Ops[index].Name {
+			t.Errorf("hook op %d reported %s %q, model has %s %q", index, kind, name, m.Ops[index].Kind, m.Ops[index].Name)
+		}
+		if ns < 0 {
+			t.Errorf("op %d negative duration %d", index, ns)
+		}
+		seen = append(seen, index)
+	})
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(m.Ops) {
+		t.Fatalf("hook saw %d ops, model has %d", len(seen), len(m.Ops))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("ops out of order: position %d saw index %d", i, idx)
+		}
+	}
+	// Removing the hook restores the untimed path.
+	ip.SetOpTimer(nil)
+	seen = seen[:0]
+	if err := ip.SetInputFloat(tensor.Randn(rng, 1, 49, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 0 {
+		t.Fatalf("hook fired %d times after removal", len(seen))
+	}
+}
+
+func TestProfileInvoke(t *testing.T) {
+	m := lowered(t, 13)
+	ip, err := NewInterpreter(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	if err := ip.SetInputFloat(tensor.Randn(rng, 1, 49, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var external int
+	ip.SetOpTimer(func(int, graph.OpKind, string, int64) { external++ })
+	timings, err := ip.ProfileInvoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != len(m.Ops) {
+		t.Fatalf("profile returned %d rows, model has %d ops", len(timings), len(m.Ops))
+	}
+	for i, tm := range timings {
+		if tm.Index != i || tm.Kind != m.Ops[i].Kind || tm.Name != m.Ops[i].Name {
+			t.Fatalf("row %d = %+v, want op %d (%s %q)", i, tm, i, m.Ops[i].Kind, m.Ops[i].Name)
+		}
+	}
+	if external != 0 {
+		t.Fatalf("ProfileInvoke leaked %d calls into the previous hook", external)
+	}
+	// The previous hook must be restored after profiling.
+	if err := ip.SetInputFloat(tensor.Randn(rng, 1, 49, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Invoke(); err != nil {
+		t.Fatal(err)
+	}
+	if external != len(m.Ops) {
+		t.Fatalf("restored hook saw %d ops, want %d", external, len(m.Ops))
+	}
+}

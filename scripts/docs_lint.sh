@@ -13,6 +13,7 @@ PACKAGES=(
   internal/kernels
   internal/tflm
   internal/mcu
+  internal/obs
   internal/search
   internal/serve
   internal/servegraph

@@ -67,6 +67,23 @@ echo "$RESP" | jq -e '.outputs[] | select(.name=="class") | .data | length == 1'
 echo "$RESP" | jq -e '.outputs[] | select(.name=="scores") | .data | length == 12' >/dev/null
 echo "infer OK: class $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]') score $(echo "$RESP" | jq -c '[.outputs[] | select(.name=="score") | .data[0]]')"
 
+# --- Per-op profile: measured wall time joined against the mcu cost
+# model. The shares must be a distribution and the linear fit must be
+# reported — the live check of the paper's §3 linearity claim.
+PROFILE=$(curl -fsS "http://$ADDR/v2/models/$MODEL/profile?runs=3")
+echo "$PROFILE" | jq -e '.version == 1 and (.ops | length > 4)' >/dev/null
+echo "$PROFILE" | jq -e '[.ops[].measured_share] | add | . > 0.99 and . < 1.01' >/dev/null
+echo "$PROFILE" | jq -e '.r2 > 0 and .ns_per_cycle > 0' >/dev/null
+echo "profile OK: r2=$(echo "$PROFILE" | jq -r '.r2') ns/cycle=$(echo "$PROFILE" | jq -r '.ns_per_cycle') over $(echo "$PROFILE" | jq -r '.ops | length') ops"
+
+# --- Request tracing: every response carries a trace id; opting in with
+# X-Micronets-Trace returns the span tree (request -> queue/invoke).
+HDRS=$(curl -fsS -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
+    -H 'X-Micronets-Trace: 1' -d "$PAYLOAD" "http://$ADDR/v2/models/$MODEL/infer")
+echo "$HDRS" | grep -qi '^x-micronets-trace-id: [0-9a-f]\{16\}'
+echo "$HDRS" | grep -i '^x-micronets-trace:' | grep -q '"name":"invoke"'
+echo "trace OK: span tree returned on opt-in"
+
 # --- Hot-load the searched model through the control plane: the running
 # server picks it up from the exported spec file, plans it against the
 # budget, and serves it — the acceptance criterion's "no restart" path.
@@ -177,7 +194,29 @@ echo "$METRICS" | grep -q 'micronets_graph_requests_total{graph="cas-lo"} 1'
 echo "$METRICS" | grep -q "micronets_graph_requests_total{graph=\"$CASCADE_NAME\"} 1"
 echo "$METRICS" | grep -q 'micronets_graph_gate_hits_total{graph="cas-lo",node="root"} 1'
 echo "$METRICS" | grep -q 'micronets_graph_escalations_total{graph="cas-hi",node="root"} 1'
-echo "metrics OK (incl. graph gate-hit/escalation counters)"
+# Latency histograms: cumulative buckets ending in le="+Inf", for the
+# per-model serve families (end-to-end, queue wait, invoke) and the
+# per-graph family — populated by the loadgen traffic above.
+echo "$METRICS" | grep -q "micronets_serve_request_latency_seconds_bucket{model=\"$MODEL\",le=\"+Inf\"} "
+echo "$METRICS" | grep -q "micronets_serve_queue_wait_seconds_bucket{model=\"$MODEL\",le=\"+Inf\"} "
+echo "$METRICS" | grep -q "micronets_serve_invoke_seconds_bucket{model=\"$MODEL\",le=\"+Inf\"} "
+echo "$METRICS" | grep -q 'micronets_graph_request_latency_seconds_bucket{graph="cas-lo",le="+Inf"} '
+echo "$METRICS" | grep -q "micronets_serve_request_latency_seconds_count{model=\"$MODEL\"} "
+echo "metrics OK (incl. graph gate-hit/escalation counters and latency histograms)"
+
+# --- Open-loop load: cmd/loadgen drives the booted server (one model
+# target, one graph target), writes BENCH_serve.json, and gates on the
+# p99 SLO itself (exit 1 on breach). Runs after the exact-count /metrics
+# assertions above, which its traffic would perturb. The generous
+# 2s/1500ms settings keep shared CI runners from flaking; the gate still
+# catches pathological regressions.
+go run ./cmd/loadgen -addr "http://$ADDR" \
+    -targets "model:$MODEL,graph:cas-lo" -rps 25 -duration 2s \
+    -slo-p99 1500 -out BENCH_serve.json
+jq -e '.targets | length == 2' BENCH_serve.json >/dev/null
+jq -e '[.targets[] | select(.completed > 0 and .errors == 0 and .p99_ms > 0)] | length == 2' BENCH_serve.json >/dev/null
+jq -e '.slo_pass == true' BENCH_serve.json >/dev/null
+echo "loadgen OK: $(jq -c '[.targets[] | {target, throughput_rps, p50_ms, p99_ms}]' BENCH_serve.json)"
 
 # --- BENCH_graph.json: the cascade must beat the single large model on
 # mean latency over mixed traffic (the paper's op-budget logic, measured
@@ -185,6 +224,7 @@ echo "metrics OK (incl. graph gate-hit/escalation counters)"
 go run ./cmd/bench -exp graph -json -graph-requests 12 >/dev/null
 jq -e '.cascade.cascade_mean_ms < .cascade.large_mean_ms
     and .cascade.speedup_vs_large > 1 and .cascade.gate_hits > 0' BENCH_graph.json >/dev/null
+jq -e '.cascade.cascade_p50_ms > 0 and .cascade.cascade_p99_ms >= .cascade.cascade_p50_ms' BENCH_graph.json >/dev/null
 echo "bench graph OK: cascade $(jq -r '.cascade.cascade_mean_ms' BENCH_graph.json)ms vs large-only $(jq -r '.cascade.large_mean_ms' BENCH_graph.json)ms ($(jq -r '.cascade.speedup_vs_large' BENCH_graph.json)x)"
 
 # Graceful drain: SIGTERM must flip readiness and exit zero.
