@@ -13,16 +13,20 @@ import (
 )
 
 // EngineRow is one model's host-side kernel-engine comparison: wall time
-// per inference on the naive Reference kernels vs the parallel im2col +
-// GEMM engine, both bit-exact by construction (the parity tests enforce
-// it; this experiment re-checks the argmax as a smoke signal).
+// per inference on the naive Reference kernels, the scalar parallel
+// im2col+GEMM engine, and the 16-wide unrolled microkernel variant — all
+// bit-exact by construction (the parity tests enforce it; this experiment
+// re-checks the full output as a smoke signal).
 type EngineRow struct {
 	Model      string
 	MACs       int64
 	ReferenceS float64
 	GemmS      float64
-	Speedup    float64
-	AgreeOut   bool
+	WideS      float64
+	// Speedup is gemm vs reference; WideSpeedup is wide vs reference.
+	Speedup     float64
+	WideSpeedup float64
+	AgreeOut    bool
 }
 
 // engineTime returns the best-of-runs single-inference wall time for one
@@ -80,22 +84,28 @@ func EngineComparison(names []string, seed int64) ([]EngineRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		agree := len(refOut) == len(gemmOut)
+		wideS, wideOut, err := engineTime(m, kernels.Wide, batch, 3)
+		if err != nil {
+			return nil, err
+		}
+		agree := len(refOut) == len(gemmOut) && len(refOut) == len(wideOut)
 		if agree {
 			for i := range refOut {
-				if refOut[i] != gemmOut[i] {
+				if refOut[i] != gemmOut[i] || refOut[i] != wideOut[i] {
 					agree = false
 					break
 				}
 			}
 		}
 		rows = append(rows, EngineRow{
-			Model:      name,
-			MACs:       m.TotalMACs(),
-			ReferenceS: refS,
-			GemmS:      gemmS,
-			Speedup:    refS / gemmS,
-			AgreeOut:   agree,
+			Model:       name,
+			MACs:        m.TotalMACs(),
+			ReferenceS:  refS,
+			GemmS:       gemmS,
+			WideS:       wideS,
+			Speedup:     refS / gemmS,
+			WideSpeedup: refS / wideS,
+			AgreeOut:    agree,
 		})
 	}
 	return rows, nil
@@ -122,12 +132,14 @@ func RenderEngineComparison(seed int64) (string, error) {
 // (and potentially disagreeing across) two.
 func RenderEngineRows(rows []EngineRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Host inference engines: naive direct conv vs parallel im2col+GEMM\n")
-	fmt.Fprintf(&b, "%-18s %10s %12s %12s %9s %7s\n", "model", "MMACs", "naive (ms)", "gemm (ms)", "speedup", "exact")
+	fmt.Fprintf(&b, "Host inference engines: naive direct conv vs parallel im2col+GEMM (scalar and 16-wide microkernel)\n")
+	fmt.Fprintf(&b, "%-18s %10s %12s %12s %12s %9s %9s %7s\n",
+		"model", "MMACs", "naive (ms)", "gemm (ms)", "wide (ms)", "gemm-up", "wide-up", "exact")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %10.1f %12.2f %12.2f %8.2fx %7v\n",
-			r.Model, float64(r.MACs)/1e6, r.ReferenceS*1e3, r.GemmS*1e3, r.Speedup, r.AgreeOut)
+		fmt.Fprintf(&b, "%-18s %10.1f %12.2f %12.2f %12.2f %8.2fx %8.2fx %7v\n",
+			r.Model, float64(r.MACs)/1e6, r.ReferenceS*1e3, r.GemmS*1e3, r.WideS*1e3,
+			r.Speedup, r.WideSpeedup, r.AgreeOut)
 	}
-	b.WriteString("(both engines produce bit-identical int8 outputs; see kernels parity tests)\n")
+	b.WriteString("(all engines produce bit-identical int8 outputs; see kernels parity tests)\n")
 	return b.String()
 }

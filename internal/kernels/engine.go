@@ -30,14 +30,18 @@ type Engine interface {
 var Reference Engine = refEngine{}
 
 // Gemm is the optimized engine: im2col into planner-provided scratch
-// tiles, register-tiled int8 GEMM over pre-packed weights, and
-// ParallelFor across the worker pool. It is the default for Run and for
-// tflm interpreters.
-var Gemm Engine = gemmEngine{}
+// tiles, register-tiled int8 GEMM over pre-packed weights, and the
+// worker pool fanned out across output tiles.
+var Gemm Engine = gemmEngine{name: "gemm", store: gemmStoreRows, dense: gemmDensePanels}
+
+// Wide shares Gemm's packing and orchestration but swaps in the 16-wide
+// unrolled dot-product microkernels (gemm_wide.go). Same packed panels,
+// same bit-exact outputs; only the inner loop differs.
+var Wide Engine = gemmEngine{name: "gemm16", store: gemmStoreRowsWide, dense: gemmDensePanelsWide}
 
 // Default is the engine used by Run and by interpreters that do not ask
 // for a specific one.
-var Default = Gemm
+var Default = Wide
 
 type refEngine struct{}
 

@@ -1,0 +1,105 @@
+package kernels
+
+import (
+	"fmt"
+
+	"micronets/internal/graph"
+)
+
+// The bind layer: instead of re-deriving tensor shapes, scratch slices
+// and parallel closures on every Invoke (which costs allocations —
+// closures escaping to the worker pool, accumulator slices, softmax
+// staging), an interpreter binds each op ONCE at construction into a
+// plain func() that captures everything it needs. The steady-state
+// invoke loop is then just calling pre-bound funcs — zero allocations,
+// proven by the AllocsPerRun tests in tflm.
+
+// opBinder is implemented by engines that can prebind their ops into
+// allocation-free executors. Engines that don't implement it still work
+// through BindOp via their per-call Engine methods.
+type opBinder interface {
+	bindConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, s *Scratch) func()
+	bindDWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, s *Scratch) func()
+	bindDense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, s *Scratch) func()
+	bindAvgPool(m *graph.Model, op *graph.Op, in, out []int8, s *Scratch) func()
+	bindMaxPool(m *graph.Model, op *graph.Op, in, out []int8, s *Scratch) func()
+}
+
+// BindOp resolves one op against an engine, a prepared context, and the
+// caller's buffers into a repeatedly-callable executor. All dispatch,
+// shape derivation, and scratch sizing happens here, once; unsupported
+// ops surface as an error at bind time instead of at invoke time. The
+// returned func reads in-place from bufs, so callers rewrite inputs
+// between invocations rather than rebinding.
+func BindOp(eng Engine, m *graph.Model, op *graph.Op, ctx *Ctx, bufs [][]int8, s *Scratch) (func(), error) {
+	out := bufs[op.Output]
+	b, bindable := eng.(opBinder)
+	switch op.Kind {
+	case graph.OpConv2D:
+		in := bufs[op.Inputs[0]]
+		if bindable {
+			return b.bindConv2D(m, op, ctx, in, out, s), nil
+		}
+		scratch := s.Im2col
+		return func() { eng.Conv2D(m, op, ctx, in, out, scratch) }, nil
+	case graph.OpDWConv2D:
+		in := bufs[op.Inputs[0]]
+		if bindable {
+			return b.bindDWConv2D(m, op, ctx, in, out, s), nil
+		}
+		return func() { eng.DWConv2D(m, op, ctx, in, out) }, nil
+	case graph.OpDense:
+		in := bufs[op.Inputs[0]]
+		if bindable {
+			return b.bindDense(m, op, ctx, in, out, s), nil
+		}
+		return func() { eng.Dense(m, op, ctx, in, out) }, nil
+	case graph.OpAvgPool:
+		in := bufs[op.Inputs[0]]
+		if bindable {
+			return b.bindAvgPool(m, op, in, out, s), nil
+		}
+		return func() { eng.AvgPool(m, op, in, out) }, nil
+	case graph.OpMaxPool:
+		in := bufs[op.Inputs[0]]
+		if bindable {
+			return b.bindMaxPool(m, op, in, out, s), nil
+		}
+		return func() { eng.MaxPool(m, op, in, out) }, nil
+	case graph.OpAdd:
+		x, y := bufs[op.Inputs[0]], bufs[op.Inputs[1]]
+		return func() { Add(m, op, x, y, out) }, nil
+	case graph.OpSoftmax:
+		in := bufs[op.Inputs[0]]
+		n := m.Tensors[op.Inputs[0]].Elems()
+		if len(s.F64) < n {
+			s.F64 = make([]float64, n)
+		}
+		logits := s.F64[:n]
+		return func() { softmaxInto(m, op, in, out, logits) }, nil
+	default:
+		return nil, fmt.Errorf("kernels: op %s (%s) is not supported by the runtime", op.Name, op.Kind)
+	}
+}
+
+// Reference binds to plain direct-kernel calls; it needs no scratch and
+// no parallelism, so its bound form is allocation-free too.
+func (refEngine) bindConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, _ *Scratch) func() {
+	return func() { Conv2D(m, op, ctx, in, out) }
+}
+
+func (refEngine) bindDWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, _ *Scratch) func() {
+	return func() { DWConv2D(m, op, ctx, in, out) }
+}
+
+func (refEngine) bindDense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, _ *Scratch) func() {
+	return func() { Dense(m, op, ctx, in, out) }
+}
+
+func (refEngine) bindAvgPool(m *graph.Model, op *graph.Op, in, out []int8, _ *Scratch) func() {
+	return func() { AvgPool(m, op, in, out) }
+}
+
+func (refEngine) bindMaxPool(m *graph.Model, op *graph.Op, in, out []int8, _ *Scratch) func() {
+	return func() { MaxPool(m, op, in, out) }
+}

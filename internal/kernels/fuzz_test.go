@@ -97,10 +97,15 @@ func FuzzConv2DParity(f *testing.F) {
 		want := make([]int8, m.Tensors[1].Elems())
 		got := make([]int8, m.Tensors[1].Elems())
 		Reference.Conv2D(m, m.Ops[0], ctx, in, want, nil)
-		Gemm.Conv2D(m, m.Ops[0], ctx, in, got, nil)
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("conv parity: out[%d] gemm=%d reference=%d (op %+v)", i, got[i], want[i], m.Ops[0])
+		for _, eng := range []Engine{Gemm, Wide} {
+			for i := range got {
+				got[i] = 0
+			}
+			eng.Conv2D(m, m.Ops[0], ctx, in, got, nil)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("conv parity: out[%d] %s=%d reference=%d (op %+v)", i, eng.Name(), got[i], want[i], m.Ops[0])
+				}
 			}
 		}
 	})
@@ -122,10 +127,15 @@ func FuzzDWConv2DParity(f *testing.F) {
 		want := make([]int8, m.Tensors[1].Elems())
 		got := make([]int8, m.Tensors[1].Elems())
 		Reference.DWConv2D(m, m.Ops[0], ctx, in, want)
-		Gemm.DWConv2D(m, m.Ops[0], ctx, in, got)
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("dwconv parity: out[%d] gemm=%d reference=%d (op %+v)", i, got[i], want[i], m.Ops[0])
+		for _, eng := range []Engine{Gemm, Wide} {
+			for i := range got {
+				got[i] = 0
+			}
+			eng.DWConv2D(m, m.Ops[0], ctx, in, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dwconv parity: out[%d] %s=%d reference=%d (op %+v)", i, eng.Name(), got[i], want[i], m.Ops[0])
+				}
 			}
 		}
 	})
@@ -166,10 +176,15 @@ func FuzzDenseParity(f *testing.F) {
 		want := make([]int8, OUT)
 		got := make([]int8, OUT)
 		Reference.Dense(m, op, ctx, in, want)
-		Gemm.Dense(m, op, ctx, in, got)
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("dense parity: out[%d] gemm=%d reference=%d (in=%d out=%d zp=%d)", i, got[i], want[i], IN, OUT, inZp)
+		for _, eng := range []Engine{Gemm, Wide} {
+			for i := range got {
+				got[i] = 0
+			}
+			eng.Dense(m, op, ctx, in, got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dense parity: out[%d] %s=%d reference=%d (in=%d out=%d zp=%d)", i, eng.Name(), got[i], want[i], IN, OUT, inZp)
+				}
 			}
 		}
 	})

@@ -14,6 +14,11 @@ import (
 // (zpBias[oc] = bias[oc] − inZp·Σₖ w[k][oc], im2col pads with inZp), so
 // the inner loop is a pure int8 dot product yet remains bit-exact with
 // the Reference engine: int32 addition wraps identically in any order.
+//
+// Two microkernels share this orchestration: the scalar 2-deep store
+// loop below, and the 16-wide unrolled variant in gemm_wide.go (the Wide
+// engine). Both consume the same packed panels, so one shared
+// PreparedModel serves either engine.
 
 const (
 	// gemmTileM is the number of output pixels im2col'd per scratch tile.
@@ -24,6 +29,14 @@ const (
 	gemmMR = 4
 	gemmNR = 4
 )
+
+// storeFunc multiplies rows [0, rows) of an im2col tile against every
+// packed panel and requantizes into the output; the scalar and wide
+// microkernels are interchangeable behind it.
+type storeFunc func(a []int8, rows, k int, ctx *Ctx, op *graph.Op, out []int8, m0, n int, outZp int32)
+
+// denseFunc computes dense output panels [lo, hi).
+type denseFunc func(ctx *Ctx, op *graph.Op, in, out []int8, n, k int, outZp int32, lo, hi int)
 
 // convIsPointwise reports whether the conv is a 1×1/stride-1/no-pad
 // convolution, for which the NHWC input is already the im2col matrix.
@@ -37,10 +50,10 @@ func convK(m *graph.Model, op *graph.Op) int {
 	return op.KH * op.KW * m.Tensors[op.Inputs[0]].C
 }
 
-// ScratchBytes returns the im2col scratch the default (Gemm) engine
-// needs for a model — the number the tflm memory planner accounts for.
+// ScratchBytes returns the im2col scratch the default engine needs for a
+// model — the number the tflm memory planner accounts for.
 func ScratchBytes(m *graph.Model) int {
-	return Gemm.ScratchBytes(m)
+	return Default.ScratchBytes(m)
 }
 
 // ScratchBytes returns the Gemm engine's im2col requirement: Workers()
@@ -235,6 +248,13 @@ func gemmStoreRows(a []int8, rows, k int, ctx *Ctx, op *graph.Op, out []int8, m0
 			}
 		}
 	}
+	gemmStoreTailRows(a, i, rows, k, ctx, op, out, m0, n, outZp)
+}
+
+// gemmStoreTailRows handles rows [i, rows) one at a time — the shared
+// remainder path of both microkernels.
+func gemmStoreTailRows(a []int8, i, rows, k int, ctx *Ctx, op *graph.Op, out []int8, m0, n int, outZp int32) {
+	panels := (n + gemmNR - 1) / gemmNR
 	for ; i < rows; i++ {
 		ar := a[i*k : i*k+k : i*k+k]
 		outRow := out[(m0+i)*n : (m0+i)*n+n]
@@ -263,11 +283,53 @@ func gemmStoreRows(a []int8, rows, k int, ctx *Ctx, op *graph.Op, out []int8, m0
 	}
 }
 
-type gemmEngine struct{}
+// gemmDensePanels computes dense output panels [lo, hi) with the scalar
+// (unroll-1) dot product.
+func gemmDensePanels(ctx *Ctx, op *graph.Op, in, out []int8, n, k int, outZp int32, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		bp := ctx.PackedW[j*k*gemmNR : j*k*gemmNR+k*gemmNR : j*k*gemmNR+k*gemmNR]
+		var c0, c1, c2, c3 int32
+		o := 0
+		for kk := 0; kk < k; kk++ {
+			va := int32(in[kk])
+			c0 += va * int32(bp[o])
+			c1 += va * int32(bp[o+1])
+			c2 += va * int32(bp[o+2])
+			c3 += va * int32(bp[o+3])
+			o += gemmNR
+		}
+		for cc, acc := range [gemmNR]int32{c0, c1, c2, c3} {
+			col := j*gemmNR + cc
+			if col >= n {
+				break
+			}
+			acc += ctx.ZpBias[col]
+			v := ctx.Mults[col].Apply(acc) + outZp
+			out[col] = int8(clamp32(v, op.ClampMin, op.ClampMax))
+		}
+	}
+}
 
-func (gemmEngine) Name() string { return "gemm" }
+// gemmEngine is the im2col+GEMM engine family; the store and dense
+// microkernels are swappable (scalar for Gemm, 16-wide unrolled for
+// Wide) while the packing, orchestration, and all non-GEMM ops are
+// shared.
+type gemmEngine struct {
+	name  string
+	store storeFunc
+	dense denseFunc
+}
 
-func (gemmEngine) Conv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out, scratch []int8) {
+func (e gemmEngine) Name() string { return e.name }
+
+func (e gemmEngine) Conv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out, scratch []int8) {
+	sc := Scratch{Im2col: scratch}
+	e.bindConv2D(m, op, ctx, in, out, &sc)()
+}
+
+// bindConv2D precomputes the conv orchestration once and returns a
+// persistent executor: repeated calls perform zero allocations.
+func (e gemmEngine) bindConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, s *Scratch) func() {
 	it := m.Tensors[op.Inputs[0]]
 	ot := m.Tensors[op.Output]
 	h, w, inC := it.H, it.W, it.C
@@ -275,23 +337,27 @@ func (gemmEngine) Conv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out, scratc
 	k := ctx.K
 	mTotal := oh * ow
 	outZp := ot.ZeroPoint
+	store := e.store
 
 	if convIsPointwise(op) {
 		// The NHWC input is already the M×K im2col matrix.
-		ParallelFor(mTotal, gemmTileM, func(_, lo, hi int) {
-			gemmStoreRows(in[lo*k:], hi-lo, k, ctx, op, out, lo, n, outZp)
-		})
-		return
+		fn := func(_, lo, hi int) {
+			store(in[lo*k:], hi-lo, k, ctx, op, out, lo, n, outZp)
+		}
+		return func() { s.Par.For(mTotal, gemmTileM, fn) }
 	}
 
 	perWorker := gemmTileM * k
-	if len(scratch) < Workers()*perWorker {
-		scratch = make([]int8, Workers()*perWorker)
+	tiles := s.Im2col
+	if len(tiles) < Workers()*perWorker {
+		// Caller did not plan scratch (direct engine calls in tests);
+		// allocate once at bind time.
+		tiles = make([]int8, Workers()*perWorker)
 	}
 	pad := int8(it.ZeroPoint)
 	nTiles := (mTotal + gemmTileM - 1) / gemmTileM
-	ParallelFor(nTiles, 1, func(chunk, lo, hi int) {
-		tile := scratch[chunk*perWorker : (chunk+1)*perWorker]
+	fn := func(chunk, lo, hi int) {
+		tile := tiles[chunk*perWorker : (chunk+1)*perWorker]
 		for t := lo; t < hi; t++ {
 			m0 := t * gemmTileM
 			m1 := m0 + gemmTileM
@@ -299,50 +365,42 @@ func (gemmEngine) Conv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out, scratc
 				m1 = mTotal
 			}
 			im2colTile(op, in, h, w, inC, ow, k, m0, m1, pad, tile)
-			gemmStoreRows(tile, m1-m0, k, ctx, op, out, m0, n, outZp)
+			store(tile, m1-m0, k, ctx, op, out, m0, n, outZp)
 		}
-	})
+	}
+	return func() { s.Par.For(nTiles, 1, fn) }
 }
 
-func (gemmEngine) Dense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+func (e gemmEngine) Dense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+	var sc Scratch
+	e.bindDense(m, op, ctx, in, out, &sc)()
+}
+
+func (e gemmEngine) bindDense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, s *Scratch) func() {
 	ot := m.Tensors[op.Output]
 	n := ot.C
 	k := ctx.K
 	outZp := ot.ZeroPoint
 	panels := (n + gemmNR - 1) / gemmNR
-	ParallelFor(panels, 8, func(_, lo, hi int) {
-		for j := lo; j < hi; j++ {
-			bp := ctx.PackedW[j*k*gemmNR : j*k*gemmNR+k*gemmNR : j*k*gemmNR+k*gemmNR]
-			var c0, c1, c2, c3 int32
-			o := 0
-			for kk := 0; kk < k; kk++ {
-				va := int32(in[kk])
-				c0 += va * int32(bp[o])
-				c1 += va * int32(bp[o+1])
-				c2 += va * int32(bp[o+2])
-				c3 += va * int32(bp[o+3])
-				o += gemmNR
-			}
-			for cc, acc := range [gemmNR]int32{c0, c1, c2, c3} {
-				col := j*gemmNR + cc
-				if col >= n {
-					break
-				}
-				acc += ctx.ZpBias[col]
-				v := ctx.Mults[col].Apply(acc) + outZp
-				out[col] = int8(clamp32(v, op.ClampMin, op.ClampMax))
-			}
-		}
-	})
+	dense := e.dense
+	fn := func(_, lo, hi int) {
+		dense(ctx, op, in, out, n, k, outZp, lo, hi)
+	}
+	return func() { s.Par.For(panels, 8, fn) }
 }
 
 // DWConv2D has no GEMM form (each channel is its own tiny filter); the
-// Gemm engine parallelizes output rows, hoists the pad-clipped kernel
-// bounds out of the pixel loop, and accumulates channel-inner so both the
+// engine parallelizes output rows, hoists the pad-clipped kernel bounds
+// out of the pixel loop, and accumulates channel-inner so both the
 // activation and weight reads are unit-stride. Per channel the taps still
 // run in (ky, kx) order, so the int32 accumulation matches Reference
 // exactly.
-func (gemmEngine) DWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+func (e gemmEngine) DWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
+	var sc Scratch
+	e.bindDWConv2D(m, op, ctx, in, out, &sc)()
+}
+
+func (e gemmEngine) bindDWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8, s *Scratch) func() {
 	it := m.Tensors[op.Inputs[0]]
 	ot := m.Tensors[op.Output]
 	inZp, outZp := it.ZeroPoint, ot.ZeroPoint
@@ -350,8 +408,14 @@ func (gemmEngine) DWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int
 	oh, ow := ot.H, ot.W
 	kw1 := op.KW + 1
 	pre := ctx.DWSumPrefix
-	ParallelFor(oh, 1, func(_, lo, hi int) {
-		acc := make([]int32, c)
+	if len(s.Acc) < Workers()*c {
+		// Direct engine calls arrive without a sized Scratch; interpreters
+		// pre-size it, so this never runs on the serve path.
+		s.Acc = make([]int32, Workers()*c)
+	}
+	accAll := s.Acc
+	fn := func(chunk, lo, hi int) {
+		acc := accAll[chunk*c : (chunk+1)*c : (chunk+1)*c]
 		for oy := lo; oy < hi; oy++ {
 			ky0, ky1 := clipKernel(oy*op.SH-op.PadTop, op.KH, h)
 			for ox := 0; ox < ow; ox++ {
@@ -390,7 +454,8 @@ func (gemmEngine) DWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int
 				}
 			}
 		}
-	})
+	}
+	return func() { s.Par.For(oh, 1, fn) }
 }
 
 // clipKernel returns the [k0, k1) kernel tap range whose input positions
@@ -409,16 +474,24 @@ func clipKernel(start, kSize, limit int) (int, int) {
 	return k0, k1
 }
 
-func (gemmEngine) AvgPool(m *graph.Model, op *graph.Op, in, out []int8) {
-	oh := m.Tensors[op.Output].H
-	ParallelFor(oh, 2, func(_, lo, hi int) {
-		avgPoolRows(m, op, in, out, lo, hi)
-	})
+func (e gemmEngine) AvgPool(m *graph.Model, op *graph.Op, in, out []int8) {
+	var sc Scratch
+	e.bindAvgPool(m, op, in, out, &sc)()
 }
 
-func (gemmEngine) MaxPool(m *graph.Model, op *graph.Op, in, out []int8) {
+func (e gemmEngine) bindAvgPool(m *graph.Model, op *graph.Op, in, out []int8, s *Scratch) func() {
 	oh := m.Tensors[op.Output].H
-	ParallelFor(oh, 2, func(_, lo, hi int) {
-		maxPoolRows(m, op, in, out, lo, hi)
-	})
+	fn := func(_, lo, hi int) { avgPoolRows(m, op, in, out, lo, hi) }
+	return func() { s.Par.For(oh, 2, fn) }
+}
+
+func (e gemmEngine) MaxPool(m *graph.Model, op *graph.Op, in, out []int8) {
+	var sc Scratch
+	e.bindMaxPool(m, op, in, out, &sc)()
+}
+
+func (e gemmEngine) bindMaxPool(m *graph.Model, op *graph.Op, in, out []int8, s *Scratch) func() {
+	oh := m.Tensors[op.Output].H
+	fn := func(_, lo, hi int) { maxPoolRows(m, op, in, out, lo, hi) }
+	return func() { s.Par.For(oh, 2, fn) }
 }

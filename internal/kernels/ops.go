@@ -251,11 +251,17 @@ func Add(m *graph.Model, op *graph.Op, a, b, out []int8) {
 // Softmax dequantizes the logits, computes a stable softmax, and emits
 // int8 with the standard TFLite output quantization (scale 1/256, zp -128).
 func Softmax(m *graph.Model, op *graph.Op, in, out []int8) {
+	softmaxInto(m, op, in, out, make([]float64, m.Tensors[op.Inputs[0]].Elems()))
+}
+
+// softmaxInto is Softmax staging the dequantized logits in the caller's
+// buffer (len ≥ input elems) — the allocation-free form bound ops use.
+func softmaxInto(m *graph.Model, op *graph.Op, in, out []int8, logits []float64) {
 	it := m.Tensors[op.Inputs[0]]
 	ot := m.Tensors[op.Output]
 	n := it.Elems()
+	logits = logits[:n]
 	maxv := math.Inf(-1)
-	logits := make([]float64, n)
 	for i := 0; i < n; i++ {
 		logits[i] = float64(it.Scale) * float64(int32(in[i])-it.ZeroPoint)
 		if logits[i] > maxv {

@@ -11,29 +11,43 @@ import (
 // that even the small KWS layers benefit, and bounds the number of
 // concurrently live im2col scratch tiles so the tflm planner can account
 // for them up front.
+//
+// Dispatch is allocation-free: workers consume fixed-size chunkTask
+// values from a buffered channel and call back into the Parallel that
+// issued them. Together with once-bound op closures (see exec.go) this
+// is what makes a warm Interpreter.Invoke report zero allocations.
 
 var (
 	poolOnce sync.Once
 	poolSize int
-	tasks    chan func()
+	tasks    chan chunkTask
 )
+
+// chunkTask is one chunk of a fork-join loop, dispatched by value so
+// issuing work allocates nothing.
+type chunkTask struct {
+	p      *Parallel
+	chunk  int
+	lo, hi int
+}
 
 func initPool() {
 	poolSize = runtime.NumCPU()
 	if poolSize < 1 {
 		poolSize = 1
 	}
-	tasks = make(chan func(), 4*poolSize)
+	tasks = make(chan chunkTask, 4*poolSize)
 	for i := 0; i < poolSize; i++ {
 		go func() {
-			for f := range tasks {
-				f()
+			for t := range tasks {
+				t.p.fn(t.chunk, t.lo, t.hi)
+				t.p.wg.Done()
 			}
 		}()
 	}
 }
 
-// Workers returns the size of the kernel worker pool. ParallelFor never
+// Workers returns the size of the kernel worker pool. Parallel.For never
 // splits a loop into more than this many chunks, which is what lets
 // ScratchBytes size the im2col region as Workers() scratch tiles.
 func Workers() int {
@@ -41,13 +55,24 @@ func Workers() int {
 	return poolSize
 }
 
-// ParallelFor splits [0, n) into at most Workers() contiguous chunks of
-// at least minGrain iterations each and runs fn(chunk, lo, hi) for every
-// chunk, returning when all chunks are done. Chunk indices are dense in
+// Parallel is a reusable fork-join context. One loop runs at a time per
+// Parallel; distinct Parallel values (one per interpreter scratch, or a
+// local in the compatibility ParallelFor) may fork concurrently. Reusing
+// the same value across calls keeps the WaitGroup and the fn slot off
+// the per-invoke allocation path.
+type Parallel struct {
+	fn func(chunk, lo, hi int)
+	wg sync.WaitGroup
+}
+
+// For splits [0, n) into at most Workers() contiguous chunks of at least
+// minGrain iterations each and runs fn(chunk, lo, hi) for every chunk,
+// returning when all chunks are done. Chunk indices are dense in
 // [0, Workers()), so callers may use them to claim disjoint scratch
 // regions. Small loops (or a single-CPU pool) run inline on the calling
-// goroutine with chunk 0.
-func ParallelFor(n, minGrain int, fn func(chunk, lo, hi int)) {
+// goroutine with chunk 0. When fn is a closure that outlives the call
+// (bound once, invoked many times), For performs no allocations.
+func (p *Parallel) For(n, minGrain int, fn func(chunk, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -63,7 +88,7 @@ func ParallelFor(n, minGrain int, fn func(chunk, lo, hi int)) {
 		return
 	}
 	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
+	p.fn = fn
 	for c := 1; c < chunks; c++ {
 		lo := c * size
 		hi := lo + size
@@ -73,20 +98,25 @@ func ParallelFor(n, minGrain int, fn func(chunk, lo, hi int)) {
 		if lo >= hi {
 			continue
 		}
-		c := c
-		wg.Add(1)
-		task := func() {
-			defer wg.Done()
-			fn(c, lo, hi)
-		}
+		p.wg.Add(1)
 		select {
-		case tasks <- task:
+		case tasks <- chunkTask{p: p, chunk: c, lo: lo, hi: hi}:
 		default:
 			// Pool backed up (e.g. concurrent interpreters): run inline
 			// rather than blocking; chunk ids stay disjoint either way.
-			task()
+			fn(c, lo, hi)
+			p.wg.Done()
 		}
 	}
 	fn(0, 0, size)
-	wg.Wait()
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// ParallelFor is the one-shot form of Parallel.For for callers without a
+// persistent Parallel. It may allocate (the transient context escapes to
+// the worker pool); hot paths hold a Parallel instead.
+func ParallelFor(n, minGrain int, fn func(chunk, lo, hi int)) {
+	var p Parallel
+	p.For(n, minGrain, fn)
 }

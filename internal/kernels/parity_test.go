@@ -111,10 +111,15 @@ func TestConv2DGemmParity(t *testing.T) {
 			want := make([]int8, m.Tensors[1].Elems())
 			got := make([]int8, m.Tensors[1].Elems())
 			Reference.Conv2D(m, m.Ops[0], ctx, in, want, nil)
-			Gemm.Conv2D(m, m.Ops[0], ctx, in, got, nil)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("conv parity: out[%d] gemm=%d reference=%d", i, got[i], want[i])
+			for _, eng := range []Engine{Gemm, Wide} {
+				for i := range got {
+					got[i] = 0
+				}
+				eng.Conv2D(m, m.Ops[0], ctx, in, got, nil)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("conv parity: out[%d] %s=%d reference=%d", i, eng.Name(), got[i], want[i])
+					}
 				}
 			}
 		})
@@ -136,10 +141,15 @@ func TestDWConv2DGemmParity(t *testing.T) {
 			want := make([]int8, m.Tensors[1].Elems())
 			got := make([]int8, m.Tensors[1].Elems())
 			Reference.DWConv2D(m, m.Ops[0], ctx, in, want)
-			Gemm.DWConv2D(m, m.Ops[0], ctx, in, got)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("dwconv parity: out[%d] gemm=%d reference=%d", i, got[i], want[i])
+			for _, eng := range []Engine{Gemm, Wide} {
+				for i := range got {
+					got[i] = 0
+				}
+				eng.DWConv2D(m, m.Ops[0], ctx, in, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dwconv parity: out[%d] %s=%d reference=%d", i, eng.Name(), got[i], want[i])
+					}
 				}
 			}
 		})
@@ -177,10 +187,15 @@ func TestDenseGemmParity(t *testing.T) {
 			want := make([]int8, n.out)
 			got := make([]int8, n.out)
 			Reference.Dense(m, op, ctx, in, want)
-			Gemm.Dense(m, op, ctx, in, got)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("dense parity: out[%d] gemm=%d reference=%d", i, got[i], want[i])
+			for _, eng := range []Engine{Gemm, Wide} {
+				for i := range got {
+					got[i] = 0
+				}
+				eng.Dense(m, op, ctx, in, got)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("dense parity: out[%d] %s=%d reference=%d", i, eng.Name(), got[i], want[i])
+					}
 				}
 			}
 		})
@@ -236,14 +251,16 @@ func TestGemmDeterministic(t *testing.T) {
 	m := randomConvModel(t, c, graph.OpConv2D, rng)
 	in := randomInput(m.Tensors[0].Elems(), rng)
 	ctx := PrepareConv(m, m.Ops[0])
-	first := make([]int8, m.Tensors[1].Elems())
-	Gemm.Conv2D(m, m.Ops[0], ctx, in, first, nil)
-	for trial := 0; trial < 10; trial++ {
-		got := make([]int8, len(first))
-		Gemm.Conv2D(m, m.Ops[0], ctx, in, got, nil)
-		for i := range first {
-			if got[i] != first[i] {
-				t.Fatalf("trial %d: nondeterministic out[%d]: %d vs %d", trial, i, got[i], first[i])
+	for _, eng := range []Engine{Gemm, Wide} {
+		first := make([]int8, m.Tensors[1].Elems())
+		eng.Conv2D(m, m.Ops[0], ctx, in, first, nil)
+		for trial := 0; trial < 10; trial++ {
+			got := make([]int8, len(first))
+			eng.Conv2D(m, m.Ops[0], ctx, in, got, nil)
+			for i := range first {
+				if got[i] != first[i] {
+					t.Fatalf("%s trial %d: nondeterministic out[%d]: %d vs %d", eng.Name(), trial, i, got[i], first[i])
+				}
 			}
 		}
 	}

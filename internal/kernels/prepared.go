@@ -1,0 +1,56 @@
+package kernels
+
+import (
+	"unsafe"
+
+	"micronets/internal/graph"
+)
+
+// PreparedModel is the immutable, model-derived kernel state for every op
+// of a model: packed weight panels, zero-point-folded biases, depthwise
+// weight prefix sums, and requantization multipliers. It depends only on
+// the model (never on an arena), is never written after Prepare returns,
+// and is therefore safe to share read-only across any number of
+// concurrently invoking interpreters — one copy per model instead of one
+// per pool replica. This is the TinyEngine-style split: prepare once,
+// share the layout-specialized weights, keep only per-worker scratch
+// private.
+type PreparedModel struct {
+	model *graph.Model
+	ctxs  []*Ctx
+	bytes int
+}
+
+// PrepareModel runs PrepareConv for every conv/dense/depthwise op of the
+// model and freezes the result.
+func PrepareModel(m *graph.Model) *PreparedModel {
+	p := &PreparedModel{model: m, ctxs: make([]*Ctx, len(m.Ops))}
+	for i, op := range m.Ops {
+		switch op.Kind {
+		case graph.OpConv2D, graph.OpDWConv2D, graph.OpDense:
+			p.ctxs[i] = PrepareConv(m, op)
+			p.bytes += p.ctxs[i].Bytes()
+		}
+	}
+	return p
+}
+
+// Model returns the model this state was prepared for.
+func (p *PreparedModel) Model() *graph.Model { return p.model }
+
+// Ctx returns op i's prepared kernel context (nil for ops that need
+// none). Callers must treat it as read-only.
+func (p *PreparedModel) Ctx(i int) *Ctx { return p.ctxs[i] }
+
+// Bytes is the RAM footprint of the prepared state: packed panels,
+// folded biases, prefix sums, and multipliers summed over all ops. With
+// sharing this is paid once per model; without it, once per replica.
+func (p *PreparedModel) Bytes() int { return p.bytes }
+
+// Bytes is the RAM footprint of one op's prepared context.
+func (c *Ctx) Bytes() int {
+	return len(c.PackedW) +
+		4*len(c.ZpBias) +
+		4*len(c.DWSumPrefix) +
+		int(unsafe.Sizeof(QuantizedMultiplier{}))*len(c.Mults)
+}

@@ -65,7 +65,11 @@ type Batcher struct {
 }
 
 type batchReq struct {
-	in   []int8
+	in []int8
+	// out is the response buffer, allocated once in Submit and filled in
+	// place by InvokeBatchInto — the flush path allocates no per-row
+	// output slices.
+	out  []int8
 	resp chan batchResp
 	// enq marks when the request entered the queue; the flush worker
 	// subtracts it from the invoke start to get per-request queue wait.
@@ -128,6 +132,7 @@ func (b *Batcher) Submit(ctx context.Context, in []int8) ([]int8, error) {
 	start := time.Now()
 	r := &batchReq{
 		in:      in,
+		out:     make([]int8, b.entry.Model.Tensors[b.entry.Model.Output].Elems()),
 		resp:    make(chan batchResp, 1),
 		enq:     start,
 		trace:   obs.TraceFrom(ctx),
@@ -144,7 +149,7 @@ func (b *Batcher) Submit(ctx context.Context, in []int8) ([]int8, error) {
 		b.mu.RUnlock()
 	case <-ctx.Done():
 		b.mu.RUnlock()
-		b.entry.stats.errors.Add(1)
+		b.entry.stats.canceled.Add(1)
 		return nil, ctx.Err()
 	}
 	// The request is now owned by the collector and will always be
@@ -158,7 +163,10 @@ func (b *Batcher) Submit(ctx context.Context, in []int8) ([]int8, error) {
 		}
 		return resp.out, resp.err
 	case <-ctx.Done():
-		b.entry.stats.errors.Add(1)
+		// The batch may still succeed; the caller just stopped waiting.
+		// Count it as a cancellation, not a model error, so the /metrics
+		// error rate keeps meaning "inference failed".
+		b.entry.stats.canceled.Add(1)
 		return nil, ctx.Err()
 	}
 }
@@ -168,13 +176,19 @@ func (b *Batcher) Submit(ctx context.Context, in []int8) ([]int8, error) {
 func (b *Batcher) run() {
 	defer b.wg.Done()
 	window := b.cfg.MaxDelay
+	// One gather timer serves the whole collector lifetime. Since Go 1.23
+	// timer channels are unbuffered, so Reset after Stop cannot deliver a
+	// stale expiry — no drain dance needed between batches.
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	timer.Stop()
 	for {
 		first, ok := <-b.reqs
 		if !ok {
 			return
 		}
 		batch := []*batchReq{first}
-		timer := time.NewTimer(window)
+		timer.Reset(window)
 	gather:
 		for len(batch) < b.cfg.MaxBatch {
 			select {
@@ -212,14 +226,16 @@ func (b *Batcher) flush(batch []*batchReq) {
 	go func() {
 		defer b.flushWg.Done()
 		inputs := make([][]int8, len(batch))
+		outs := make([][]int8, len(batch))
 		for i, r := range batch {
 			inputs[i] = r.in
+			outs[i] = r.out
 		}
-		// An InvokeBatch error (impossible for length-validated inputs
-		// short of a kernel bug) fails every request in the batch
-		// identically.
+		// Outputs land directly in each request's pre-allocated buffer.
+		// An invoke error (impossible for length-validated inputs short
+		// of a kernel bug) fails every request in the batch identically.
 		invokeStart := time.Now()
-		outs, err := ip.InvokeBatch(inputs)
+		err := ip.InvokeBatchInto(inputs, outs)
 		invokeDur := time.Since(invokeStart)
 		if err != nil {
 			ip.Reset()
@@ -227,7 +243,7 @@ func (b *Batcher) flush(batch []*batchReq) {
 		b.entry.Pool.Put(ip)
 		b.entry.stats.observeBatch(len(batch))
 		b.entry.stats.invoke.Observe(invokeDur)
-		for i, r := range batch {
+		for _, r := range batch {
 			b.entry.stats.queueWait.Observe(invokeStart.Sub(r.enq))
 			if r.trace != nil {
 				r.trace.Add("queue", r.parent, r.enq, invokeStart.Sub(r.enq), map[string]string{
@@ -241,7 +257,7 @@ func (b *Batcher) flush(batch []*batchReq) {
 				r.resp <- batchResp{err: err}
 				continue
 			}
-			r.resp <- batchResp{out: outs[i]}
+			r.resp <- batchResp{out: r.out}
 		}
 		if err != nil && b.cfg.Logger != nil {
 			ids := make([]string, 0, len(batch))
@@ -262,6 +278,10 @@ func (b *Batcher) flush(batch []*batchReq) {
 type stats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
+	// canceled counts requests whose caller's context expired before the
+	// response was read — the model did nothing wrong, so these are kept
+	// out of errors to preserve the error rate's meaning.
+	canceled atomic.Uint64
 	batches  atomic.Uint64
 	batchSum atomic.Uint64
 	batchMax atomic.Uint64
@@ -297,6 +317,7 @@ func (s *stats) observeLatency(d time.Duration) {
 type StatsSnapshot struct {
 	Requests     uint64
 	Errors       uint64
+	Canceled     uint64
 	Batches      uint64
 	BatchSizeSum uint64
 	BatchSizeMax uint64
@@ -313,6 +334,7 @@ func (s *stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Requests:     s.requests.Load(),
 		Errors:       s.errors.Load(),
+		Canceled:     s.canceled.Load(),
 		Batches:      s.batches.Load(),
 		BatchSizeSum: s.batchSum.Load(),
 		BatchSizeMax: s.batchMax.Load(),

@@ -157,6 +157,74 @@ func TestBatcherSubmitAfterClose(t *testing.T) {
 	}
 }
 
+// TestBatcherCanceledCountedSeparately: a caller abandoning its request
+// mid-gather is a cancellation, not a model error — the errors counter
+// must stay untouched so the /metrics error rate keeps meaning "inference
+// failed".
+func TestBatcherCanceledCountedSeparately(t *testing.T) {
+	entry := newTestEntry(t, 1)
+	// MaxBatch 8 with a long window: a lone request sits in the gather
+	// phase long enough for the caller to walk away.
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 8, MaxDelay: time.Second})
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(ctx, validInput(entry))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request enter the gather window
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Fatalf("abandoned Submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit did not observe cancellation")
+	}
+	st := entry.Stats()
+	if st.Canceled != 1 {
+		t.Fatalf("canceled = %d, want 1", st.Canceled)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d after a pure cancellation, want 0", st.Errors)
+	}
+}
+
+// TestBatcherSubmitAllocBound pins the steady-state allocation cost of the
+// whole Submit→response round trip to a fixed object count — independent
+// of tensor sizes, because the flush path writes into each request's
+// pre-allocated buffer instead of allocating outputs per row.
+func TestBatcherSubmitAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	entry := newTestEntry(t, 1)
+	b := NewBatcher(entry, BatcherConfig{MaxBatch: 1, MaxDelay: time.Millisecond})
+	defer b.Close()
+
+	in := validInput(entry)
+	ctx := context.Background()
+	if _, err := b.Submit(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := b.Submit(ctx, in); err != nil {
+			t.Error(err)
+		}
+	})
+	// The budget covers the request struct, its response buffer and
+	// channel, plus the collector's batch slice, the flush goroutine and
+	// its two batch-wide slices. Anything scaling with tensor elements
+	// or allocating per row would blow well past it.
+	const maxAllocs = 16
+	if avg > maxAllocs {
+		t.Fatalf("Submit round trip allocates %.1f objects/op, want <= %d", avg, maxAllocs)
+	}
+}
+
 func TestBatcherSubmitCancelledContext(t *testing.T) {
 	entry := newTestEntry(t, 1)
 	b := NewBatcher(entry, BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond})

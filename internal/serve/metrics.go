@@ -31,7 +31,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# HELP micronets_serve_ram_budget_bytes Configured repository RAM budget (0 = unbudgeted).\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_ram_budget_bytes gauge\n")
 	fmt.Fprintf(&b, "micronets_serve_ram_budget_bytes %d\n", s.repo.RAMBudgetBytes())
-	fmt.Fprintf(&b, "# HELP micronets_serve_ram_planned_bytes Arena bytes reserved by live model versions.\n")
+	fmt.Fprintf(&b, "# HELP micronets_serve_ram_planned_bytes Bytes reserved by live model versions (shared weights + pooled arenas).\n")
 	fmt.Fprintf(&b, "# TYPE micronets_serve_ram_planned_bytes gauge\n")
 	fmt.Fprintf(&b, "micronets_serve_ram_planned_bytes %d\n", s.repo.PlannedRAMBytes())
 
@@ -43,8 +43,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	counter("micronets_serve_requests_total", "Inference requests completed (batched rows).",
 		func(v *version) uint64 { return v.entry.Stats().Requests })
-	counter("micronets_serve_request_errors_total", "Requests that failed (bad input, cancelled, drained, invoke error).",
+	counter("micronets_serve_request_errors_total", "Requests that failed (bad input, drained, invoke error).",
 		func(v *version) uint64 { return v.entry.Stats().Errors })
+	counter("micronets_serve_request_canceled_total", "Requests abandoned by caller context cancellation (not model failures).",
+		func(v *version) uint64 { return v.entry.Stats().Canceled })
 	counter("micronets_serve_batches_total", "InvokeBatch calls issued by the micro-batcher.",
 		func(v *version) uint64 { return v.entry.Stats().Batches })
 	counter("micronets_serve_batch_size_sum", "Sum of coalesced batch sizes (divide by batches for the mean).",
@@ -77,10 +79,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(v *version) int64 { return int64(v.poolSize) })
 	gauge("micronets_serve_max_batch", "Budget-planned micro-batch bound of the serving version.",
 		func(v *version) int64 { return int64(v.maxBatch) })
-	gauge("micronets_serve_planned_arena_bytes", "Arena bytes the serving version reserves against the RAM budget.",
+	gauge("micronets_serve_planned_arena_bytes", "Bytes the serving version reserves against the RAM budget (shared weights + pool arenas).",
 		func(v *version) int64 { return int64(v.plannedBytes) })
 	gauge("micronets_serve_arena_bytes", "Arena bytes per pooled interpreter (host allocation).",
 		func(v *version) int64 { return int64(v.entry.ArenaBytes) })
+	gauge("micronets_serve_shared_weight_bytes", "Prepared weight bytes (packed panels, folded biases) shared by every pool replica — paid once per version.",
+		func(v *version) int64 { return int64(v.entry.WeightBytes) })
 
 	// model_versions counts live versions per name (READY + DRAINING +
 	// LOADING) — >1 flags an in-progress blue/green swap.

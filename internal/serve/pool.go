@@ -11,34 +11,50 @@ import (
 // owns its own arena, so any two requests holding distinct pooled
 // interpreters may Invoke concurrently; the pool exists to make
 // "distinct" cheap by paying memory planning and kernel preparation once
-// per slot instead of once per request. `prewarm` interpreters are built
-// up front; under concurrent demand the pool lazily grows up to `max`, so
-// callers are never serialized below the configured parallelism while an
-// idle model still costs only the pre-warmed arenas.
+// per model instead of once per request. All replicas execute over one
+// shared, immutable tflm.Prepared — packed weight panels, folded biases
+// and prefix sums are paid for once per model version, not once per
+// replica; a replica adds only its private arena. `prewarm` interpreters
+// are built up front; under concurrent demand the pool lazily grows up
+// to `max`, so callers are never serialized below the configured
+// parallelism while an idle model still costs only the pre-warmed
+// arenas.
 type Pool struct {
-	model *graph.Model
+	prep *tflm.Prepared
 	// ch's capacity is the pool bound; idle interpreters sit in it.
 	ch      chan *tflm.Interpreter
 	mu      sync.Mutex
 	created int
 }
 
-// NewPool plans and prepares prewarm interpreters up front, allowing lazy
-// growth to max (max < prewarm is raised to prewarm). It fails like
-// NewInterpreter does (unsupported ops, invalid graph), so a Pool that
-// constructs successfully can always serve — later lazy constructions of
-// the same model cannot fail except under memory exhaustion, in which
-// case Get falls back to waiting for an existing interpreter.
+// NewPool prepares the model once (validation, memory plan, packed
+// weights) and warms prewarm interpreters over that shared state,
+// allowing lazy growth to max (max < prewarm is raised to prewarm). It
+// fails like NewInterpreter does (unsupported ops, invalid graph), so a
+// Pool that constructs successfully can always serve — later lazy
+// constructions of the same model cannot fail except under memory
+// exhaustion, in which case Get falls back to waiting for an existing
+// interpreter.
 func NewPool(m *graph.Model, prewarm, max int) (*Pool, error) {
+	prep, err := tflm.Prepare(m)
+	if err != nil {
+		return nil, err
+	}
+	return NewPoolPrepared(prep, prewarm, max)
+}
+
+// NewPoolPrepared warms a pool over already-prepared model state,
+// for callers that build (or share) the tflm.Prepared themselves.
+func NewPoolPrepared(prep *tflm.Prepared, prewarm, max int) (*Pool, error) {
 	if prewarm <= 0 {
 		prewarm = 1
 	}
 	if max < prewarm {
 		max = prewarm
 	}
-	p := &Pool{model: m, ch: make(chan *tflm.Interpreter, max)}
+	p := &Pool{prep: prep, ch: make(chan *tflm.Interpreter, max)}
 	for i := 0; i < prewarm; i++ {
-		ip, err := tflm.NewInterpreter(m, 0)
+		ip, err := prep.NewInterpreter(0)
 		if err != nil {
 			return nil, err
 		}
@@ -58,12 +74,18 @@ func (p *Pool) Created() int {
 	return p.created
 }
 
-// ArenaBytes returns the arena cost of one pooled interpreter.
+// ArenaBytes returns the arena cost of one pooled interpreter — the
+// per-replica RAM increment on top of the shared prepared weights.
 func (p *Pool) ArenaBytes() int {
 	ip := p.Get()
 	defer p.Put(ip)
 	return ip.ArenaBytes()
 }
+
+// WeightBytes returns the RAM footprint of the shared prepared kernel
+// state (packed panels, folded biases, prefix sums, multipliers) — paid
+// once for the whole pool regardless of replica count.
+func (p *Pool) WeightBytes() int { return p.prep.WeightBytes() }
 
 // grow tries to construct one more interpreter within the bound. It
 // returns nil when the pool is already at max (or construction failed, a
@@ -76,7 +98,7 @@ func (p *Pool) grow() *tflm.Interpreter {
 	}
 	p.created++
 	p.mu.Unlock()
-	ip, err := tflm.NewInterpreter(p.model, 0)
+	ip, err := p.prep.NewInterpreter(0)
 	if err != nil {
 		p.mu.Lock()
 		p.created--

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// accounting tests skip under it because instrumentation skews counts.
+const raceEnabled = false

@@ -10,6 +10,7 @@ import (
 	"micronets/internal/arch"
 	"micronets/internal/graph"
 	"micronets/internal/tensor"
+	"micronets/internal/tflm"
 	"micronets/internal/zoo"
 )
 
@@ -75,7 +76,11 @@ type Entry struct {
 	// ArenaBytes is the RAM cost of one pooled interpreter (activations
 	// plus engine scratch), recorded at warm-up.
 	ArenaBytes int
-	stats      stats
+	// WeightBytes is the RAM cost of the prepared kernel state (packed
+	// panels, folded biases, prefix sums) shared by every replica of the
+	// pool — paid once per entry, not per interpreter.
+	WeightBytes int
+	stats       stats
 }
 
 // Stats returns a snapshot of the entry's serving counters.
@@ -211,11 +216,26 @@ func (r *Registry) lower(spec *arch.Spec, opts ModelOptions) (*Entry, error) {
 // constructor of the Registry (fixed pool sizes) and the Repository
 // (budget-planned pool sizes).
 func newEntry(spec *arch.Spec, m *graph.Model, prewarm, max int) (*Entry, error) {
-	pool, err := NewPool(m, prewarm, max)
+	prep, err := tflm.Prepare(m)
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{Name: spec.Name, Spec: spec, Model: m, Pool: pool, ArenaBytes: pool.ArenaBytes()}, nil
+	return newEntryPrepared(spec, m, prep, prewarm, max)
+}
+
+// newEntryPrepared is newEntry over caller-supplied prepared state, so
+// the repository charges the budget with the exact weight bytes the pool
+// will share.
+func newEntryPrepared(spec *arch.Spec, m *graph.Model, prep *tflm.Prepared, prewarm, max int) (*Entry, error) {
+	pool, err := NewPoolPrepared(prep, prewarm, max)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		Name: spec.Name, Spec: spec, Model: m, Pool: pool,
+		ArenaBytes:  pool.ArenaBytes(),
+		WeightBytes: pool.WeightBytes(),
+	}, nil
 }
 
 // Preload warms the cache for a list of zoo models, so the first real

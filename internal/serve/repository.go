@@ -126,10 +126,15 @@ type ModelStatus struct {
 	PoolSize int `json:"pool_size"`
 	MaxBatch int `json:"max_batch"`
 	// ArenaBytesPerReplica is tflm.PlanMemoryBatch(model, MaxBatch) arena
-	// bytes — what one pooled replica costs in device RAM.
+	// bytes — what one pooled replica adds in device RAM on top of the
+	// shared weights.
 	ArenaBytesPerReplica int `json:"arena_bytes_per_replica"`
-	// PlannedRAMBytes = PoolSize × ArenaBytesPerReplica, the version's
-	// reservation against the repository budget.
+	// SharedWeightBytes is the prepared kernel state (packed weight
+	// panels, folded biases, prefix sums) shared read-only by every
+	// replica — counted once per version, independent of PoolSize.
+	SharedWeightBytes int `json:"shared_weight_bytes"`
+	// PlannedRAMBytes = SharedWeightBytes + PoolSize × ArenaBytesPerReplica,
+	// the version's reservation against the repository budget.
 	PlannedRAMBytes int `json:"planned_ram_bytes"`
 	// FlashBytes is the model's weights+graph flash footprint.
 	FlashBytes int       `json:"flash_bytes"`
@@ -141,8 +146,8 @@ type ModelStatus struct {
 // it as a structured 409.
 type BudgetError struct {
 	Model string
-	// NeededBytes is the batch-1 single-replica arena — the minimum the
-	// load would reserve.
+	// NeededBytes is the shared prepared weights plus the batch-1
+	// single-replica arena — the minimum the load would reserve.
 	NeededBytes int
 	// BudgetBytes and PlannedBytes are the repository budget and what live
 	// versions have already reserved against it.
@@ -184,6 +189,7 @@ type version struct {
 	poolSize        int
 	maxBatch        int
 	perReplicaArena int
+	weightBytes     int
 	plannedBytes    int
 	flashBytes      int
 	loadedAt        time.Time
@@ -252,10 +258,11 @@ func (r *Repository) load(spec *arch.Spec, opts ModelOptions, requireExisting bo
 	key := registryKey{fingerprint: fingerprint(spec), opts: opts}
 	name := spec.Name
 
-	// The lowering and capacity candidates depend only on spec+opts, so
-	// a stale-slot retry (the per-name slot deleted by a completing
-	// unload mid-load) reuses them instead of re-lowering.
+	// The lowering, prepared weights, and capacity candidates depend only
+	// on spec+opts, so a stale-slot retry (the per-name slot deleted by a
+	// completing unload mid-load) reuses them instead of re-lowering.
 	var gm *graph.Model
+	var prep *tflm.Prepared
 	var costs []batchCost
 	for {
 		m := r.modelFor(name)
@@ -299,6 +306,13 @@ func (r *Repository) load(spec *arch.Spec, opts ModelOptions, requireExisting bo
 				m.loadMu.Unlock()
 				return ModelStatus{}, fmt.Errorf("serve: load %s: %w", name, err)
 			}
+			// Prepare once: the packed weights are shared by every replica
+			// of the version, and their size feeds the budget reservation.
+			prep, err = tflm.Prepare(gm)
+			if err != nil {
+				m.loadMu.Unlock()
+				return ModelStatus{}, fmt.Errorf("serve: load %s: %w", name, err)
+			}
 			costs, err = batchCosts(gm, r.cfg.Batch.MaxBatch)
 			if err != nil {
 				m.loadMu.Unlock()
@@ -306,7 +320,7 @@ func (r *Repository) load(spec *arch.Spec, opts ModelOptions, requireExisting bo
 			}
 		}
 
-		v, st, err := r.reserve(name, m, key, spec.Task, gm, costs)
+		v, st, err := r.reserve(name, m, key, spec.Task, gm, prep.WeightBytes(), costs)
 		if errors.Is(err, errStaleModel) {
 			m.loadMu.Unlock()
 			continue // the slot was deleted under us; re-resolve it
@@ -320,7 +334,7 @@ func (r *Repository) load(spec *arch.Spec, opts ModelOptions, requireExisting bo
 			return st, nil // idempotent hit inside the reservation
 		}
 
-		entry, err := newEntry(spec, gm, v.poolSize, v.poolSize)
+		entry, err := newEntryPrepared(spec, gm, prep, v.poolSize, v.poolSize)
 		if err != nil {
 			r.release(name, m, v)
 			m.loadMu.Unlock()
@@ -600,7 +614,7 @@ func (r *Repository) modelFor(name string) *repoModel {
 // reserve plans capacity for a load and reserves its budget, publishing a
 // LOADING version. Returns (nil, status, nil) when the active version
 // already matches key. Caller holds m.loadMu.
-func (r *Repository) reserve(name string, m *repoModel, key registryKey, task string, gm *graph.Model, costs []batchCost) (*version, ModelStatus, error) {
+func (r *Repository) reserve(name string, m *repoModel, key registryKey, task string, gm *graph.Model, weightBytes int, costs []batchCost) (*version, ModelStatus, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -612,7 +626,7 @@ func (r *Repository) reserve(name string, m *repoModel, key registryKey, task st
 	if m.active != nil && m.active.key == key {
 		return nil, statusLocked(m.active), nil
 	}
-	pool, batch, perReplica, err := r.pickCapacityLocked(name, costs)
+	pool, batch, perReplica, err := r.pickCapacityLocked(name, weightBytes, costs)
 	if err != nil {
 		return nil, ModelStatus{}, err
 	}
@@ -625,7 +639,8 @@ func (r *Repository) reserve(name string, m *repoModel, key registryKey, task st
 		poolSize:        pool,
 		maxBatch:        batch,
 		perReplicaArena: perReplica,
-		plannedBytes:    pool * perReplica,
+		weightBytes:     weightBytes,
+		plannedBytes:    weightBytes + pool*perReplica,
 		flashBytes:      gm.FlashBytes(),
 		state:           StateLoading,
 		drained:         make(chan struct{}),
@@ -661,15 +676,17 @@ func batchCosts(gm *graph.Model, maxBatch int) ([]batchCost, error) {
 }
 
 // pickCapacityLocked sizes a load against the remaining budget: the
-// largest candidate micro-batch whose single-replica arena fits, then as
-// many replicas as still fit (capped at the desired PoolSize). Unbudgeted
+// shared prepared weights are charged once off the top, then the largest
+// candidate micro-batch whose single-replica arena fits, then as many
+// replicas as still fit (capped at the desired PoolSize) — replicas cost
+// only their arenas, since the weights are shared. Unbudgeted
 // repositories grant the desires as-is. Called with r.mu held.
-func (r *Repository) pickCapacityLocked(name string, costs []batchCost) (pool, batch, perReplica int, err error) {
+func (r *Repository) pickCapacityLocked(name string, weightBytes int, costs []batchCost) (pool, batch, perReplica int, err error) {
 	pool = r.cfg.PoolSize
 	if r.cfg.RAMBudgetBytes <= 0 {
 		return pool, costs[0].batch, costs[0].arenaBytes, nil
 	}
-	remaining := r.cfg.RAMBudgetBytes - r.planned
+	remaining := r.cfg.RAMBudgetBytes - r.planned - weightBytes
 	chosen := costs[len(costs)-1] // batch 1, the smallest configuration
 	for _, c := range costs {
 		if c.arenaBytes <= remaining {
@@ -680,7 +697,7 @@ func (r *Repository) pickCapacityLocked(name string, costs []batchCost) (pool, b
 	if chosen.arenaBytes > remaining {
 		return 0, 0, 0, &BudgetError{
 			Model:        name,
-			NeededBytes:  chosen.arenaBytes,
+			NeededBytes:  weightBytes + chosen.arenaBytes,
 			BudgetBytes:  r.cfg.RAMBudgetBytes,
 			PlannedBytes: r.planned,
 		}
@@ -771,6 +788,7 @@ func statusLocked(v *version) ModelStatus {
 		PoolSize:             v.poolSize,
 		MaxBatch:             v.maxBatch,
 		ArenaBytesPerReplica: v.perReplicaArena,
+		SharedWeightBytes:    v.weightBytes,
 		PlannedRAMBytes:      v.plannedBytes,
 		FlashBytes:           v.flashBytes,
 		LoadedAt:             v.loadedAt,

@@ -48,18 +48,39 @@ func arenaBytesAt(t *testing.T, spec *arch.Spec, opts ModelOptions, batch int) i
 	return plan.ArenaBytes
 }
 
+// weightBytesOf is the shared prepared-weight cost (packed panels, folded
+// biases, prefix sums) the repository charges once per version, regardless
+// of pool size.
+func weightBytesOf(t *testing.T, spec *arch.Spec, opts ModelOptions) int {
+	t.Helper()
+	opts = opts.normalize()
+	m, err := graph.FromSpec(spec, newWeightRNG(opts.Seed), graph.LowerOptions{
+		WeightBits: opts.WeightBits, ActBits: opts.ActBits, AppendSoftmax: opts.AppendSoftmax,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := tflm.Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prep.WeightBytes()
+}
+
 // TestBudgetOfOneArenaYieldsPoolSizeOne is the ROADMAP item made a test:
 // pool size and max batch derive from the RAM budget via
-// tflm.PlanMemoryBatch, so a budget of exactly one batch-1 arena must
-// collapse to one replica serving batch 1 — never a fixed default count.
+// tflm.PlanMemoryBatch, so a budget of the shared weights plus exactly one
+// batch-1 arena must collapse to one replica serving batch 1 — never a
+// fixed default count.
 func TestBudgetOfOneArenaYieldsPoolSizeOne(t *testing.T) {
 	spec := testSpec(t, "MicroNet-KWS-S")
 	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
 	oneArena := arenaBytesAt(t, spec, opts, 1)
+	weights := weightBytesOf(t, spec, opts)
 
 	r := NewRepository(RepositoryConfig{
 		Logger:         discardLogger(),
-		RAMBudgetBytes: oneArena,
+		RAMBudgetBytes: weights + oneArena,
 		PoolSize:       8,
 		Batch:          BatcherConfig{MaxBatch: 8},
 	})
@@ -71,12 +92,51 @@ func TestBudgetOfOneArenaYieldsPoolSizeOne(t *testing.T) {
 	if st.PoolSize != 1 || st.MaxBatch != 1 {
 		t.Fatalf("one-arena budget planned pool %d batch %d, want 1 and 1", st.PoolSize, st.MaxBatch)
 	}
-	if st.PlannedRAMBytes != oneArena || st.ArenaBytesPerReplica != oneArena {
-		t.Fatalf("planned %d bytes (per replica %d), want exactly the one arena %d",
-			st.PlannedRAMBytes, st.ArenaBytesPerReplica, oneArena)
+	if st.PlannedRAMBytes != weights+oneArena || st.ArenaBytesPerReplica != oneArena || st.SharedWeightBytes != weights {
+		t.Fatalf("planned %d bytes (per replica %d, weights %d), want weights %d + the one arena %d",
+			st.PlannedRAMBytes, st.ArenaBytesPerReplica, st.SharedWeightBytes, weights, oneArena)
 	}
-	if got := r.PlannedRAMBytes(); got != oneArena {
-		t.Fatalf("repository reservation %d, want %d", got, oneArena)
+	if got := r.PlannedRAMBytes(); got != weights+oneArena {
+		t.Fatalf("repository reservation %d, want %d", got, weights+oneArena)
+	}
+}
+
+// TestPlannedRAMSharesWeightsAcrossReplicas pins the shared-weights
+// accounting directly: growing the pool from one replica to four must add
+// exactly three arenas to the planned RAM — the prepared weight panels are
+// charged once per version, never per replica.
+func TestPlannedRAMSharesWeightsAcrossReplicas(t *testing.T) {
+	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
+	planned := func(pool int) (ModelStatus, int) {
+		spec := testSpec(t, "MicroNet-KWS-S")
+		r := NewRepository(RepositoryConfig{
+			Logger:   discardLogger(),
+			PoolSize: pool,
+			Batch:    BatcherConfig{MaxBatch: 1},
+		})
+		defer r.Close()
+		st, err := r.Load(spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, r.PlannedRAMBytes()
+	}
+	st1, repo1 := planned(1)
+	st4, repo4 := planned(4)
+	if st1.PoolSize != 1 || st4.PoolSize != 4 {
+		t.Fatalf("pool sizes %d and %d, want 1 and 4", st1.PoolSize, st4.PoolSize)
+	}
+	if st1.SharedWeightBytes == 0 || st1.SharedWeightBytes != st4.SharedWeightBytes {
+		t.Fatalf("shared weight bytes %d vs %d, want equal and non-zero",
+			st1.SharedWeightBytes, st4.SharedWeightBytes)
+	}
+	wantDelta := 3 * st1.ArenaBytesPerReplica
+	if got := st4.PlannedRAMBytes - st1.PlannedRAMBytes; got != wantDelta {
+		t.Fatalf("4 replicas plan %d more bytes than 1, want exactly 3 arenas = %d (weights double-charged?)",
+			got, wantDelta)
+	}
+	if got := repo4 - repo1; got != wantDelta {
+		t.Fatalf("repository reservations differ by %d, want %d", got, wantDelta)
 	}
 }
 
@@ -87,10 +147,11 @@ func TestBudgetScalesBatchAndPool(t *testing.T) {
 	spec := testSpec(t, "DSCNN-S")
 	opts := ModelOptions{Seed: 42, AppendSoftmax: true}
 	arena4 := arenaBytesAt(t, spec, opts, 4)
+	weights := weightBytesOf(t, spec, opts)
 
 	r := NewRepository(RepositoryConfig{
 		Logger:         discardLogger(),
-		RAMBudgetBytes: arena4,
+		RAMBudgetBytes: weights + arena4,
 		PoolSize:       4,
 		Batch:          BatcherConfig{MaxBatch: 4},
 	})
@@ -103,9 +164,11 @@ func TestBudgetScalesBatchAndPool(t *testing.T) {
 		t.Fatalf("one batch-4 arena planned pool %d batch %d, want 1 and 4", st.PoolSize, st.MaxBatch)
 	}
 
+	// Weights are charged once per version, so one more arena of budget —
+	// not weights+arena — buys the second replica.
 	r2 := NewRepository(RepositoryConfig{
 		Logger:         discardLogger(),
-		RAMBudgetBytes: 2 * arena4,
+		RAMBudgetBytes: weights + 2*arena4,
 		PoolSize:       4,
 		Batch:          BatcherConfig{MaxBatch: 4},
 	})
@@ -131,10 +194,13 @@ func TestBudgetRejectionIsStructured(t *testing.T) {
 	if bigArena <= smallArena {
 		t.Fatalf("test premise broken: %d <= %d", bigArena, smallArena)
 	}
+	smallWeights := weightBytesOf(t, small, opts)
+	bigWeights := weightBytesOf(t, big, opts)
+	smallCost := smallWeights + smallArena
 
 	r := NewRepository(RepositoryConfig{
 		Logger:         discardLogger(),
-		RAMBudgetBytes: smallArena,
+		RAMBudgetBytes: smallCost,
 		PoolSize:       1,
 		Batch:          BatcherConfig{MaxBatch: 1},
 	})
@@ -147,14 +213,14 @@ func TestBudgetRejectionIsStructured(t *testing.T) {
 	if !errors.As(err, &be) {
 		t.Fatalf("over-budget load returned %v, want *BudgetError", err)
 	}
-	if be.Model != big.Name || be.NeededBytes != bigArena ||
-		be.BudgetBytes != smallArena || be.PlannedBytes != smallArena {
+	if be.Model != big.Name || be.NeededBytes != bigWeights+bigArena ||
+		be.BudgetBytes != smallCost || be.PlannedBytes != smallCost {
 		t.Fatalf("BudgetError fields %+v; want model %s needed %d budget %d planned %d",
-			be, big.Name, bigArena, smallArena, smallArena)
+			be, big.Name, bigWeights+bigArena, smallCost, smallCost)
 	}
 	// The failed load must not leak a reservation or an index row.
-	if got := r.PlannedRAMBytes(); got != smallArena {
-		t.Fatalf("failed load leaked reservation: planned %d, want %d", got, smallArena)
+	if got := r.PlannedRAMBytes(); got != smallCost {
+		t.Fatalf("failed load leaked reservation: planned %d, want %d", got, smallCost)
 	}
 	if idx := r.Index(); len(idx) != 1 || idx[0].Name != small.Name {
 		t.Fatalf("failed load leaked an index row: %+v", idx)
@@ -426,7 +492,7 @@ func TestWatchSpecsRetriesAfterBudgetFrees(t *testing.T) {
 
 	r := NewRepository(RepositoryConfig{
 		Logger:         discardLogger(),
-		RAMBudgetBytes: arenaBytesAt(t, blocker, opts, 1),
+		RAMBudgetBytes: weightBytesOf(t, blocker, opts) + arenaBytesAt(t, blocker, opts, 1),
 		PoolSize:       1,
 		Batch:          BatcherConfig{MaxBatch: 1},
 		Options:        opts,

@@ -331,13 +331,14 @@ func (s *Server) handleModelMeta(w http.ResponseWriter, r *http.Request) {
 			"shape": []int{out.Elems()},
 		}},
 		"details": map[string]any{
-			"task":              v.task,
-			"macs":              mod.TotalMACs(),
-			"flash_bytes":       mod.FlashBytes(),
-			"arena_bytes":       v.entry.ArenaBytes,
-			"pool_size":         v.poolSize,
-			"max_batch":         v.maxBatch,
-			"planned_ram_bytes": v.plannedBytes,
+			"task":                v.task,
+			"macs":                mod.TotalMACs(),
+			"flash_bytes":         mod.FlashBytes(),
+			"arena_bytes":         v.entry.ArenaBytes,
+			"shared_weight_bytes": v.entry.WeightBytes,
+			"pool_size":           v.poolSize,
+			"max_batch":           v.maxBatch,
+			"planned_ram_bytes":   v.plannedBytes,
 		},
 	})
 }

@@ -473,7 +473,8 @@ func TestAdminLoadInlineSpec(t *testing.T) {
 // TestAdminBudgetConflict: a hot-load that cannot fit the server's RAM
 // budget is rejected with a structured 409, and the index is untouched.
 func TestAdminBudgetConflict(t *testing.T) {
-	// Budget sized to the boot model's batch-1 arena: nothing else fits.
+	// Budget sized to the boot model's weights + one batch-1 arena:
+	// nothing else fits.
 	reg := NewRegistry(RegistryConfig{PoolSize: 1})
 	entry, err := reg.Get("DSCNN-S", ModelOptions{Seed: 42, AppendSoftmax: true})
 	if err != nil {
@@ -483,12 +484,13 @@ func TestAdminBudgetConflict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	budget := entry.WeightBytes + plan.ArenaBytes
 	s, err := New(Config{
 		Models:         []string{"DSCNN-S"},
 		Options:        ModelOptions{Seed: 42, AppendSoftmax: true},
 		PoolSize:       1,
 		Batch:          BatcherConfig{MaxBatch: 1},
-		RAMBudgetBytes: plan.ArenaBytes,
+		RAMBudgetBytes: budget,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -503,7 +505,7 @@ func TestAdminBudgetConflict(t *testing.T) {
 	if body["code"] != "ram_budget_exceeded" || body["model"] != "MicroNet-KWS-S" {
 		t.Fatalf("409 body missing structured fields: %v", body)
 	}
-	if body["needed_bytes"].(float64) <= 0 || body["budget_bytes"].(float64) != float64(plan.ArenaBytes) {
+	if body["needed_bytes"].(float64) <= 0 || body["budget_bytes"].(float64) != float64(budget) {
 		t.Fatalf("409 byte accounting wrong: %v", body)
 	}
 	if idx := repoIndex(t, ts.URL); len(idx) != 1 || idx["MicroNet-KWS-S"] != nil {
@@ -560,7 +562,7 @@ func TestAdminInlinePublishRollsBackOnBudgetReject(t *testing.T) {
 		Options:        ModelOptions{Seed: 42, AppendSoftmax: true},
 		PoolSize:       1,
 		Batch:          BatcherConfig{MaxBatch: 1},
-		RAMBudgetBytes: plan.ArenaBytes,
+		RAMBudgetBytes: entry.WeightBytes + plan.ArenaBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -602,7 +604,7 @@ func TestLoadSpecFilePartialFailure(t *testing.T) {
 	small2 := testSpec(t, "DSCNN-S")
 	r := NewRepository(RepositoryConfig{
 		Logger:         discardLogger(),
-		RAMBudgetBytes: arenaBytesAt(t, small2, opts, 1),
+		RAMBudgetBytes: weightBytesOf(t, small2, opts) + arenaBytesAt(t, small2, opts, 1),
 		PoolSize:       1,
 		Batch:          BatcherConfig{MaxBatch: 1},
 	})

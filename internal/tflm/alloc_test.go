@@ -1,0 +1,130 @@
+package tflm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"micronets/internal/graph"
+	"micronets/internal/zoo"
+)
+
+// The tentpole invariants of the prepare/execute split, measured rather
+// than asserted by review: a warm Invoke allocates nothing (all dispatch
+// and scratch were bound at construction), and the shared PreparedModel
+// is never written while replicas invoke concurrently (the -race build
+// of TestSharedPreparedConcurrentInvoke proves it mechanically).
+
+// servableZooModels lowers every servable catalogue entry once.
+func servableZooModels(t testing.TB) map[string]*graph.Model {
+	t.Helper()
+	out := make(map[string]*graph.Model)
+	for _, name := range zoo.ServableNames() {
+		e, err := zoo.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(1)), graph.LowerOptions{AppendSoftmax: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// TestInvokeZeroAllocs pins the allocation-free steady state on every
+// servable zoo model: after the first (warming) invoke, Invoke must not
+// touch the heap at all. Any regression — a closure escaping in a
+// kernel, a forgotten make in an op path — fails this exactly.
+func TestInvokeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	for name, m := range servableZooModels(t) {
+		t.Run(name, func(t *testing.T) {
+			ip, err := NewInterpreter(m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := ip.Input()
+			for i := range in {
+				in[i] = int8(i*31 + 7)
+			}
+			if err := ip.Invoke(); err != nil {
+				t.Fatal(err)
+			}
+			avg := testing.AllocsPerRun(10, func() {
+				if err := ip.Invoke(); err != nil {
+					t.Error(err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state Invoke allocates %.1f objects/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestSharedPreparedConcurrentInvoke runs several replicas of one
+// Prepared concurrently under load and then cross-checks their outputs.
+// Under -race (CI's test job) this proves the shared packed weights are
+// never written post-build; in any mode it proves replicas sharing one
+// weight copy stay bit-identical.
+func TestSharedPreparedConcurrentInvoke(t *testing.T) {
+	e, err := zoo.Get("MicroNet-KWS-S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := graph.FromSpec(e.Spec, rand.New(rand.NewSource(1)), graph.LowerOptions{AppendSoftmax: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const replicas = 4
+	ips := make([]*Interpreter, replicas)
+	for r := range ips {
+		if ips[r], err = prep.NewInterpreter(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for r, ip := range ips {
+		wg.Add(1)
+		go func(r int, ip *Interpreter) {
+			defer wg.Done()
+			in := ip.Input()
+			for iter := 0; iter < 5; iter++ {
+				for i := range in {
+					in[i] = int8(i*13 + iter) // same stream in every replica
+				}
+				if err := ip.Invoke(); err != nil {
+					t.Errorf("replica %d: %v", r, err)
+					return
+				}
+			}
+		}(r, ip)
+	}
+	wg.Wait()
+	want := make([]int8, len(ips[0].Output()))
+	copy(want, ips[0].Output())
+	for r := 1; r < replicas; r++ {
+		got := make([]int8, len(ips[r].Output()))
+		copy(got, ips[r].Output())
+		if !bytes.Equal(int8ToBytes(got), int8ToBytes(want)) {
+			t.Fatalf("replica %d output diverged from replica 0", r)
+		}
+	}
+}
+
+func int8ToBytes(s []int8) []byte {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return b
+}

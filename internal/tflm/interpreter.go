@@ -13,17 +13,28 @@ import (
 // Interpreter executes a graph.Model, mirroring TFLM's MicroInterpreter:
 // construct, AllocateTensors (memory planning + op preparation), set the
 // input, Invoke, read the output.
+//
+// All model-derived state (plan, packed weights) lives in the shared,
+// immutable Prepared; the interpreter owns only its private arena and
+// scratch plus per-op executors bound once at construction. A warm
+// Invoke therefore performs zero heap allocations (enforced by
+// TestInvokeZeroAllocs) and replicas of one Prepared share one weight
+// copy.
 type Interpreter struct {
+	prep   *Prepared
 	model  *graph.Model
 	plan   *Plan
 	engine kernels.Engine
 	arena  []int8
 	// bufs[i] is tensor i's slice into the arena.
 	bufs [][]int8
-	// scratch is the Gemm engine's im2col region, the tail of the arena
-	// (planner-accounted, see Plan.ScratchBytes).
-	scratch []int8
-	ctxs    []*kernels.Ctx
+	// scratch is this replica's private mutable kernel state: the im2col
+	// region (the planner-accounted arena tail), depthwise accumulators,
+	// softmax staging, and the reusable fork-join context.
+	scratch *kernels.Scratch
+	// steps[i] executes op i: bound once against the arena and the shared
+	// prepared contexts, so the invoke loop is just calling them in order.
+	steps []func()
 	// opTimer, when non-nil, receives each op's wall time during Invoke.
 	// The nil check is hoisted out of the hot loop so the disabled case
 	// costs one branch per Invoke, not per op.
@@ -58,70 +69,30 @@ func NewInterpreter(m *graph.Model, arenaLimit int) (*Interpreter, error) {
 }
 
 // NewInterpreterWithEngine is NewInterpreter with an explicit kernel
-// engine — kernels.Reference for the naive baseline, kernels.Gemm for the
-// im2col+GEMM parallel path. An interpreter is not safe for concurrent
-// Invoke calls (it owns one arena), but distinct interpreters may run
-// concurrently.
+// engine — kernels.Reference for the naive baseline, kernels.Gemm /
+// kernels.Wide for the im2col+GEMM parallel paths. An interpreter is not
+// safe for concurrent Invoke calls (it owns one arena), but distinct
+// interpreters may run concurrently. Callers building several replicas
+// of one model should Prepare once and stamp interpreters from that
+// instead, sharing the packed weights.
 func NewInterpreterWithEngine(m *graph.Model, arenaLimit int, eng kernels.Engine) (*Interpreter, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	for _, op := range m.Ops {
-		if op.Kind == graph.OpTransposedConv {
-			return nil, fmt.Errorf("tflm: model %s: operator %s not supported by the runtime", m.Name, op.Kind)
-		}
-	}
-	for _, t := range m.Tensors {
-		// 4-bit activations pack two per byte in the memory plan (that is
-		// the point of the §5.1.3 emulation — smaller arenas), but the
-		// host kernels execute one int8 element per byte, so such models
-		// are planner/latency artifacts, not executable here. Refuse
-		// cleanly rather than slicing past the packed arena.
-		if t.Bits == 4 {
-			return nil, fmt.Errorf("tflm: model %s: 4-bit activations are a memory/latency emulation; the host runtime executes int8 only", m.Name)
-		}
-	}
-	plan, err := PlanMemory(m)
+	prep, err := PrepareWithEngine(m, eng)
 	if err != nil {
 		return nil, err
 	}
-	if err := plan.Verify(); err != nil {
-		return nil, err
-	}
-	if arenaLimit > 0 && plan.ArenaBytes > arenaLimit {
-		return nil, fmt.Errorf("tflm: model %s needs %d arena bytes, limit %d",
-			m.Name, plan.ArenaBytes, arenaLimit)
-	}
-	// Engines that use no scratch (Reference) get a bare activation
-	// arena; Gemm interpreters carry the planner-accounted im2col tail.
-	scratchBytes := alignUp(eng.ScratchBytes(m))
-	ip := &Interpreter{
-		model:  m,
-		plan:   plan,
-		engine: eng,
-		arena:  make([]int8, plan.ArenaBytes+scratchBytes),
-		bufs:   make([][]int8, len(m.Tensors)),
-		ctxs:   make([]*kernels.Ctx, len(m.Ops)),
-	}
-	for _, a := range plan.Allocations {
-		t := m.Tensors[a.TensorID]
-		ip.bufs[a.TensorID] = ip.arena[a.Offset : a.Offset+t.Elems()]
-	}
-	ip.scratch = ip.arena[plan.ArenaBytes:]
-	for i, op := range m.Ops {
-		switch op.Kind {
-		case graph.OpConv2D, graph.OpDWConv2D, graph.OpDense:
-			ip.ctxs[i] = kernels.PrepareConv(m, op)
-		}
-	}
-	return ip, nil
+	return prep.NewInterpreter(arenaLimit)
 }
 
 // Model returns the underlying model.
 func (ip *Interpreter) Model() *graph.Model { return ip.model }
 
+// Prepared returns the shared prepared state this interpreter executes
+// over (never nil).
+func (ip *Interpreter) Prepared() *Prepared { return ip.prep }
+
 // ArenaBytes returns the interpreter's total arena size (activations plus
-// engine scratch) — what one pooled replica of this model costs in RAM.
+// engine scratch) — what one pooled replica of this model costs in RAM
+// beyond the shared prepared weights.
 func (ip *Interpreter) ArenaBytes() int { return len(ip.arena) }
 
 // Reset zeroes the activation arena and scratch region, returning the
@@ -144,6 +115,17 @@ func (ip *Interpreter) Input() []int8 { return ip.bufs[ip.model.Input] }
 // Output returns the raw quantized output buffer.
 func (ip *Interpreter) Output() []int8 { return ip.bufs[ip.model.Output] }
 
+// quantRange returns the representable quantized range for an activation
+// bit width — the single home for the 4-bit bounds, ready for when 4-bit
+// execution lands (today the runtime rejects 4-bit activations at
+// Prepare time, so only the 8-bit arm is reachable).
+func quantRange(bits int) (lo, hi int32) {
+	if bits == 4 {
+		return -8, 7
+	}
+	return -128, 127
+}
+
 // SetInputFloat quantizes a float tensor (shape [h,w,c] or flat of the
 // right size) into the input buffer.
 func (ip *Interpreter) SetInputFloat(x *tensor.Tensor) error {
@@ -151,10 +133,7 @@ func (ip *Interpreter) SetInputFloat(x *tensor.Tensor) error {
 	if x.Len() != in.Elems() {
 		return fmt.Errorf("tflm: input has %d elements, model wants %d", x.Len(), in.Elems())
 	}
-	lo, hi := int32(-128), int32(127)
-	if in.Bits == 4 {
-		lo, hi = -8, 7
-	}
+	lo, hi := quantRange(in.Bits)
 	buf := ip.Input()
 	for i, v := range x.Data {
 		q := int32(math.Round(float64(v)/float64(in.Scale))) + in.ZeroPoint
@@ -180,17 +159,16 @@ func (ip *Interpreter) OutputFloat() []float32 {
 	return res
 }
 
-// Invoke runs all ops in order on the interpreter's engine. Errors name
-// the failing op's index, type and name so a CI benchmark failure is
-// diagnosable from the log alone.
+// Invoke runs all ops in order on the interpreter's engine. Dispatch,
+// shape derivation, and scratch sizing all happened at bind time, so the
+// warm path is a plain loop over pre-bound executors: zero allocations,
+// no failure modes (unsupported ops were rejected at construction).
 func (ip *Interpreter) Invoke() error {
 	if ip.opTimer != nil {
 		return ip.invokeTimed()
 	}
-	for i, op := range ip.model.Ops {
-		if err := kernels.RunWith(ip.engine, ip.model, op, ip.ctxs[i], ip.bufs, ip.scratch); err != nil {
-			return fmt.Errorf("tflm: model %s: op %d (%s %q): %w", ip.model.Name, i, op.Kind, op.Name, err)
-		}
+	for _, step := range ip.steps {
+		step()
 	}
 	return nil
 }
@@ -200,11 +178,8 @@ func (ip *Interpreter) Invoke() error {
 func (ip *Interpreter) invokeTimed() error {
 	for i, op := range ip.model.Ops {
 		start := time.Now()
-		err := kernels.RunWith(ip.engine, ip.model, op, ip.ctxs[i], ip.bufs, ip.scratch)
+		ip.steps[i]()
 		ip.opTimer(i, op.Kind, op.Name, time.Since(start).Nanoseconds())
-		if err != nil {
-			return fmt.Errorf("tflm: model %s: op %d (%s %q): %w", ip.model.Name, i, op.Kind, op.Name, err)
-		}
 	}
 	return nil
 }
@@ -227,25 +202,45 @@ func (ip *Interpreter) ProfileInvoke() ([]OpTiming, error) {
 	return timings, nil
 }
 
-// InvokeBatch runs the model once per input buffer, reusing the memory
-// plan and prepared kernels across the whole batch, and returns one
-// freshly allocated quantized output per input. Each input must hold
-// exactly the model's input element count.
-func (ip *Interpreter) InvokeBatch(inputs [][]int8) ([][]int8, error) {
+// InvokeBatchInto runs the model once per input buffer, writing row b's
+// quantized output into outs[b] — the allocation-free form the serving
+// batcher uses with response buffers it owns. Each input must hold
+// exactly the model's input element count and each output buffer its
+// output element count.
+func (ip *Interpreter) InvokeBatchInto(inputs, outs [][]int8) error {
 	in := ip.model.Tensors[ip.model.Input]
-	outs := make([][]int8, len(inputs))
+	nOut := ip.model.Tensors[ip.model.Output].Elems()
+	if len(outs) != len(inputs) {
+		return fmt.Errorf("tflm: model %s: %d outputs for %d inputs", ip.model.Name, len(outs), len(inputs))
+	}
 	for b, x := range inputs {
 		if len(x) != in.Elems() {
-			return nil, fmt.Errorf("tflm: model %s: batch input %d has %d elements, model wants %d",
+			return fmt.Errorf("tflm: model %s: batch input %d has %d elements, model wants %d",
 				ip.model.Name, b, len(x), in.Elems())
+		}
+		if len(outs[b]) != nOut {
+			return fmt.Errorf("tflm: model %s: batch output %d has %d elements, model emits %d",
+				ip.model.Name, b, len(outs[b]), nOut)
 		}
 		copy(ip.Input(), x)
 		if err := ip.Invoke(); err != nil {
-			return nil, fmt.Errorf("tflm: batch input %d: %w", b, err)
+			return fmt.Errorf("tflm: batch input %d: %w", b, err)
 		}
-		out := make([]int8, len(ip.Output()))
-		copy(out, ip.Output())
-		outs[b] = out
+		copy(outs[b], ip.Output())
+	}
+	return nil
+}
+
+// InvokeBatch is InvokeBatchInto returning freshly allocated outputs,
+// for callers without reusable buffers.
+func (ip *Interpreter) InvokeBatch(inputs [][]int8) ([][]int8, error) {
+	outs := make([][]int8, len(inputs))
+	nOut := len(ip.Output())
+	for b := range outs {
+		outs[b] = make([]int8, nOut)
+	}
+	if err := ip.InvokeBatchInto(inputs, outs); err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

@@ -432,18 +432,15 @@ func TestScratchPlanned(t *testing.T) {
 }
 
 // TestInvokeErrorNamesOp checks the diagnosable-error satellite: an
-// unsupported op must surface its index, kind and name.
+// unsupported op must surface its index, kind and name. Since dispatch
+// moved to bind time, the error now arrives at construction — before any
+// request can hit it — rather than on the first Invoke.
 func TestInvokeErrorNamesOp(t *testing.T) {
 	m := lowered(t, 8)
-	ip, err := NewInterpreter(m, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Corrupt an op kind after planning to force a dispatch failure.
 	saved := m.Ops[1].Kind
 	m.Ops[1].Kind = graph.OpTransposedConv
 	defer func() { m.Ops[1].Kind = saved }()
-	err = ip.Invoke()
+	_, err := NewInterpreter(m, 0)
 	if err == nil {
 		t.Fatal("expected error for unsupported op")
 	}

@@ -30,10 +30,12 @@ echo "search OK: exported frontier model $NAS_MODEL"
 go build -o "$BIN" ./cmd/serve
 
 # Boot WITHOUT the searched model: it arrives later through the admin
-# API. The 512KB budget emulates the large MCU: pool sizes and max batch
-# are planned per model from tflm.PlanMemoryBatch, and it leaves room for
-# the NAS model but NOT for MicroNet-AD-L (353KB arena at batch 1).
-"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S" -ram-budget 512KB -pool 1 -max-batch 4 -log json &
+# API. Pool sizes and max batch are planned per model from
+# tflm.PlanMemoryBatch; a version's reservation is its shared prepared
+# weights plus the pooled arenas, so the budget is sized to hold the boot
+# pair, the NAS model, and the frontier fan-out below — but NOT
+# MicroNet-AD-L (353KB arena at batch 1 plus weights, asserted as a 409).
+"$BIN" -addr "$ADDR" -models "$MODEL,DSCNN-S" -ram-budget 768KB -pool 1 -max-batch 4 -log json &
 PID=$!
 cleanup() { kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; }
 trap cleanup EXIT
@@ -57,7 +59,9 @@ INDEX=$(curl -fsS "http://$ADDR/v2/repository/index")
 echo "$INDEX" | jq -e '.models | length == 2' >/dev/null
 echo "$INDEX" | jq -e --arg m "$MODEL" \
     '.models[] | select(.name == $m) | .state == "READY" and .planned_ram_bytes > 0 and .flash_bytes > 0 and .pool_size >= 1' >/dev/null
-echo "$INDEX" | jq -e '.ram_budget_bytes == 524288 and .ram_planned_bytes > 0 and .ram_planned_bytes <= .ram_budget_bytes' >/dev/null
+echo "$INDEX" | jq -e '.ram_budget_bytes == 786432 and .ram_planned_bytes > 0 and .ram_planned_bytes <= .ram_budget_bytes' >/dev/null
+# Every row's reservation must equal shared weights + pool x arena.
+echo "$INDEX" | jq -e '[.models[] | .planned_ram_bytes == .shared_weight_bytes + .pool_size * .arena_bytes_per_replica] | all' >/dev/null
 echo "repository index OK: $(echo "$INDEX" | jq -c '[.models[] | {name, state, pool_size, max_batch}]')"
 
 PAYLOAD=$(jq -n '{inputs:[{name:"input",shape:[49,10,1],datatype:"FP32",data:[range(490)|0.25]}]}')
@@ -102,11 +106,11 @@ echo "$NAS_RESP" | jq -e --arg m "$NAS_MODEL" '.model_name == $m' >/dev/null
 echo "hot-load OK: $NAS_MODEL served with zero restarts (class $(echo "$NAS_RESP" | jq -c '[.outputs[] | select(.name=="class") | .data[0]]'))"
 
 # --- An over-budget load must be a structured 409, not an OOM: the AD-L
-# arena (353KB at batch 1) exceeds whatever the 512KB budget has left.
+# weights + arena (353KB at batch 1) exceed whatever the budget has left.
 CONFLICT_CODE=$(curl -s -o "$WORK/conflict.json" -w '%{http_code}' -X POST \
     "http://$ADDR/v2/repository/models/MicroNet-AD-L/load")
 test "$CONFLICT_CODE" = "409"
-jq -e '.code == "ram_budget_exceeded" and .needed_bytes > 0 and .budget_bytes == 524288' "$WORK/conflict.json" >/dev/null
+jq -e '.code == "ram_budget_exceeded" and .needed_bytes > 0 and .budget_bytes == 786432' "$WORK/conflict.json" >/dev/null
 echo "budget rejection OK: $(jq -c '{code, needed_bytes, budget_bytes, planned_bytes}' "$WORK/conflict.json")"
 
 # --- Unload drains DSCNN-S out of the index and the data path.
@@ -187,7 +191,8 @@ echo "$METRICS" | grep -q 'micronets_serve_requests_total{model="MicroNet-KWS-S"
 echo "$METRICS" | grep -q "micronets_serve_model_versions{model=\"$NAS_MODEL\"} 1"
 echo "$METRICS" | grep -q "micronets_serve_pool_size{model=\"$NAS_MODEL\"} "
 echo "$METRICS" | grep -q "micronets_serve_planned_arena_bytes{model=\"$NAS_MODEL\"} "
-echo "$METRICS" | grep -q 'micronets_serve_ram_budget_bytes 524288'
+echo "$METRICS" | grep -q 'micronets_serve_ram_budget_bytes 786432'
+echo "$METRICS" | grep -q 'micronets_serve_shared_weight_bytes{model="'"$MODEL"'"}'
 echo "$METRICS" | grep -q 'micronets_serve_ram_planned_bytes '
 echo "$METRICS" | grep -q 'micronets_graphs_registered 3'
 echo "$METRICS" | grep -q 'micronets_graph_requests_total{graph="cas-lo"} 1'
