@@ -20,12 +20,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# lint = go vet + gofmt + microvet (the repo-specific analyzer suite;
+# see docs/ANALYSIS.md). microvet subsumes the old docs_lint.sh package-
+# comment check via its pkgdoc analyzer.
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
-	./scripts/docs_lint.sh
+	$(GO) run ./cmd/microvet ./...
 
 # serve runs the HTTP inference server on :8151 (all servable zoo models).
 .PHONY: serve

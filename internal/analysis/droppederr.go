@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags `x, _ :=` and `_ =` discards of error values in the
+// configured package subtree. The motivating bug (PR 4) was a
+// `lat, _ :=` that silently zeroed a latency metric for weeks; errors in
+// internal/ code must be handled, returned, logged, or blessed in place
+// with //microvet:ignore droppederr <reason>.
+//
+// Comma-ok forms (type assertion, map index, channel receive) are exempt
+// — their second value is a bool, and discarding it is the presence-check
+// idiom. Declarations (`var _ Iface = x`) are compile-time interface
+// checks, also exempt.
+type DroppedErr struct {
+	// PathPrefixes limits the check to packages whose import path starts
+	// with one of these prefixes.
+	PathPrefixes []string
+}
+
+// NewDroppedErr returns the analyzer with the production configuration.
+func NewDroppedErr() *DroppedErr {
+	return &DroppedErr{PathPrefixes: []string{"micronets/internal/"}}
+}
+
+func (*DroppedErr) Name() string { return "droppederr" }
+func (*DroppedErr) Doc() string {
+	return "no silently discarded error values in internal/ packages"
+}
+
+func (a *DroppedErr) Run(pass *Pass) {
+	for _, pkg := range pass.Pkgs {
+		if !hasPrefix(pkg.Path, a.PathPrefixes) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				a.checkAssign(pass, pkg, as)
+				return true
+			})
+		}
+	}
+}
+
+func (a *DroppedErr) checkAssign(pass *Pass, pkg *Package, as *ast.AssignStmt) {
+	// Tuple form: n LHS, one RHS.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		switch unparen(as.Rhs[0]).(type) {
+		case *ast.TypeAssertExpr, *ast.IndexExpr, *ast.UnaryExpr:
+			return // comma-ok forms are exempt by design
+		}
+		tup, ok := pkg.Info.Types[as.Rhs[0]].Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i < tup.Len() && isBlank(lhs) && isErrorType(tup.At(i).Type()) {
+				pass.Reportf(lhs.Pos(),
+					"error value discarded with _; handle it or bless: //microvet:ignore droppederr <reason>")
+			}
+		}
+		return
+	}
+	// Pairwise form, including plain `_ = f()`.
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		t := pkg.Info.Types[as.Rhs[i]].Type
+		if _, multi := t.(*types.Tuple); multi {
+			continue // handled above; defensive
+		}
+		if isErrorType(t) {
+			pass.Reportf(lhs.Pos(),
+				"error value discarded with _; handle it or bless: //microvet:ignore droppederr <reason>")
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isErrorType reports whether t is the error interface or a concrete
+// type that implements it.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Identical(t, ErrorType) {
+		return true
+	}
+	iface, _ := ErrorType.Underlying().(*types.Interface)
+	if iface == nil {
+		return false
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return types.Implements(t, iface)
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+func hasPrefix(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces the `// guarded by X.mu` field-annotation
+// convention from internal/serve/repository.go: a field carrying that
+// comment may only be read or written inside a function that locks
+// X's mutex (a call to <recv>.mu.Lock() or .RLock() somewhere in the
+// enclosing function body), or inside a helper whose name ends in
+// "Locked" (the caller-holds-the-lock convention).
+//
+// This is a deliberately syntactic approximation — it does not prove the
+// lock is held on every path, or that a closure captured under the lock
+// isn't called after the unlock. It catches the common regression: a new
+// method touching guarded state with no locking discipline at all.
+// Composite-literal construction is naturally exempt (keyed fields are
+// not selector expressions).
+type LockGuard struct{}
+
+// NewLockGuard returns the analyzer; the annotation grammar is fixed.
+func NewLockGuard() *LockGuard { return &LockGuard{} }
+
+func (*LockGuard) Name() string { return "lockguard" }
+func (*LockGuard) Doc() string {
+	return "fields annotated '// guarded by X.mu' are only accessed under that mutex"
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)\.([A-Za-z_]\w*)`)
+
+// guard records one annotated field's protection contract.
+type guard struct {
+	guardType  string // type name whose mutex protects the field ("Repository")
+	mutexField string // the mutex field name ("mu")
+}
+
+func (a *LockGuard) Run(pass *Pass) {
+	// Pass 1: collect annotated fields across all packages, keyed by the
+	// field's types.Object so access checks are exact, not name-based.
+	guards := make(map[types.Object]guard)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					g, ok := guardAnnotation(field)
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							guards[obj] = g
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	// Pass 2: every selector that resolves to a guarded field must sit in
+	// a function that locks the guard mutex or is *Locked-suffixed.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a.checkFunc(pass, pkg, fd, guards)
+			}
+		}
+	}
+}
+
+func guardAnnotation(field *ast.Field) (guard, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return guard{guardType: m[1], mutexField: m[2]}, true
+		}
+	}
+	return guard{}, false
+}
+
+func (a *LockGuard) checkFunc(pass *Pass, pkg *Package, fd *ast.FuncDecl, guards map[types.Object]guard) {
+	exemptByName := strings.HasSuffix(fd.Name.Name, "Locked")
+	// locked collects the (guard type, mutex field) pairs this function
+	// takes somewhere in its body — including inside deferred closures,
+	// which is exactly the approximation documented above.
+	var locked map[guard]bool
+	lockedSet := func() map[guard]bool {
+		if locked != nil {
+			return locked
+		}
+		locked = make(map[guard]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+				return true
+			}
+			// Shape: <expr>.<mutexField>.Lock() where <expr>'s named type
+			// is the guard type.
+			inner, ok := sel.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := namedOf(pkg.Info.Types[inner.X].Type)
+			if recv == nil {
+				return true
+			}
+			locked[guard{guardType: recv.Obj().Name(), mutexField: inner.Sel.Name}] = true
+			return true
+		})
+		return locked
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pkg.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		g, guarded := guards[selection.Obj()]
+		if !guarded {
+			return true
+		}
+		if exemptByName || lockedSet()[g] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"field %s is guarded by %s.%s, but %s neither locks it nor is named *Locked",
+			selection.Obj().Name(), g.guardType, g.mutexField, fd.Name.Name)
+		return true
+	})
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricName enforces the PR 7 Prometheus exposition conventions on
+// every metric string literal in the module:
+//
+//   - names follow micronets_<subsystem>_<name>[_<unit>] with a known
+//     subsystem and [a-z0-9_] characters (no double or trailing
+//     underscores),
+//   - units are base units (seconds, bytes), never scaled ones (_ms,
+//     _kb, _percent, ...),
+//   - a metric family belongs to exactly one package — the same name
+//     emitted from two packages would collide on the scrape page.
+//
+// Literals are scanned for embedded metric tokens, so HELP/TYPE lines
+// and format strings ("micronets_serve_model_versions{model=%q} %d\n")
+// are covered without any special casing.
+type MetricName struct {
+	// Prefix is the mandatory namespace prefix, "micronets_".
+	Prefix string
+	// Subsystems are the allowed <subsystem> segments.
+	Subsystems []string
+	// ForbiddenUnits are suffixes that indicate a scaled unit.
+	ForbiddenUnits []string
+}
+
+// NewMetricName returns the analyzer with the production configuration.
+func NewMetricName() *MetricName {
+	return &MetricName{
+		Prefix:     "micronets_",
+		Subsystems: []string{"serve", "graph", "graphs"},
+		ForbiddenUnits: []string{
+			"ms", "us", "ns", "millis", "micros", "nanos",
+			"kb", "mb", "gb", "kib", "mib", "gib",
+			"percent", "minutes", "hours",
+		},
+	}
+}
+
+func (*MetricName) Name() string { return "metricname" }
+func (*MetricName) Doc() string {
+	return "metric literals follow micronets_<subsystem>_<name>[_<unit>] and are unique per package"
+}
+
+// metricTokenRE requires at least one character after the namespace so
+// the bare prefix string (this analyzer's own configuration) is not a
+// token.
+var metricTokenRE = regexp.MustCompile(`micronets_[A-Za-z0-9_]+`)
+
+type metricSite struct {
+	pkg string
+	pos token.Pos
+}
+
+func (a *MetricName) Run(pass *Pass) {
+	families := make(map[string][]metricSite)
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				text, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				for _, idx := range metricTokenRE.FindAllStringIndex(text, -1) {
+					tok := text[idx[0]:idx[1]]
+					pos := lit.Pos() // literal start; precise enough for one-line literals
+					if a.checkToken(pass, pos, tok) {
+						families[tok] = append(families[tok], metricSite{pkg: pkg.Path, pos: pos})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Cross-package uniqueness: a family emitted by more than one package
+	// is a collision. Repetition inside one package is how exposition
+	// writers work (HELP head + per-series rows) and is fine.
+	var names []string
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sites := families[name]
+		first := sites[0].pkg
+		seen := map[string]bool{first: true}
+		for _, s := range sites[1:] {
+			if !seen[s.pkg] {
+				seen[s.pkg] = true
+				pass.Reportf(s.pos, "metric %s is already emitted by package %s; metric families must be unique across the module", name, first)
+			}
+		}
+	}
+}
+
+// checkToken validates one metric token, reporting malformations. It
+// returns true if the token is well-formed enough to take part in the
+// uniqueness check.
+func (a *MetricName) checkToken(pass *Pass, pos token.Pos, tok string) bool {
+	rest := strings.TrimPrefix(tok, a.Prefix)
+	if rest == "" {
+		pass.Reportf(pos, "metric %q has no subsystem; want %s<subsystem>_<name>[_<unit>]", tok, a.Prefix)
+		return false
+	}
+	if strings.ToLower(tok) != tok {
+		pass.Reportf(pos, "metric %q has upper-case characters; metric names are lower_snake_case", tok)
+		return false
+	}
+	if strings.Contains(tok, "__") || strings.HasSuffix(tok, "_") {
+		pass.Reportf(pos, "metric %q has empty name segments; want %s<subsystem>_<name>[_<unit>]", tok, a.Prefix)
+		return false
+	}
+	sub, name, ok := strings.Cut(rest, "_")
+	if !ok || name == "" {
+		pass.Reportf(pos, "metric %q is missing a name after the subsystem; want %s<subsystem>_<name>[_<unit>]", tok, a.Prefix)
+		return false
+	}
+	if !contains(a.Subsystems, sub) {
+		pass.Reportf(pos, "metric %q uses unknown subsystem %q (known: %s)", tok, sub, strings.Join(a.Subsystems, ", "))
+		return false
+	}
+	segs := strings.Split(name, "_")
+	last := segs[len(segs)-1]
+	if contains(a.ForbiddenUnits, last) {
+		pass.Reportf(pos, "metric %q ends in scaled unit %q; use base units (seconds, bytes) per the exposition conventions", tok, last)
+		return false
+	}
+	return true
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PreparedWrite enforces the PR 8 shared-state invariant: a prepared
+// model's packed panels, folded biases, and per-op contexts are shared
+// by every pool replica, so once construction finishes they are
+// immutable. Any assignment whose destination reaches through one of the
+// target types (kernels.PreparedModel, kernels.Ctx, tflm.Prepared) is a
+// data race against every other replica — unless it happens inside the
+// Prepare* construction path.
+//
+// Composite-literal construction (&Ctx{...}) is naturally exempt: keyed
+// literal fields are not assignment statements.
+type PreparedWrite struct {
+	// Targets are qualified names of the immutable-after-construction
+	// types, e.g. "micronets/internal/kernels.PreparedModel".
+	Targets []string
+	// AllowPrefixes are function-name prefixes allowed to write
+	// (the construction path).
+	AllowPrefixes []string
+}
+
+// NewPreparedWrite returns the analyzer with the production configuration.
+func NewPreparedWrite() *PreparedWrite {
+	return &PreparedWrite{
+		Targets: []string{
+			"micronets/internal/kernels.PreparedModel",
+			"micronets/internal/kernels.Ctx",
+			"micronets/internal/tflm.Prepared",
+		},
+		AllowPrefixes: []string{"Prepare", "prepare"},
+	}
+}
+
+func (*PreparedWrite) Name() string { return "preparedwrite" }
+func (*PreparedWrite) Doc() string {
+	return "prepared model/kernel state is immutable outside the Prepare* construction path"
+}
+
+func (a *PreparedWrite) Run(pass *Pass) {
+	targets := make(map[string]bool, len(a.Targets))
+	for _, t := range a.Targets {
+		targets[t] = true
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if a.allowed(fd.Name.Name) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch stmt := n.(type) {
+					case *ast.AssignStmt:
+						for _, lhs := range stmt.Lhs {
+							a.checkDest(pass, pkg, targets, lhs, fd.Name.Name)
+						}
+					case *ast.IncDecStmt:
+						a.checkDest(pass, pkg, targets, stmt.X, fd.Name.Name)
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+func (a *PreparedWrite) allowed(name string) bool {
+	for _, p := range a.AllowPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDest walks an assignment destination inward (selectors, indexes,
+// derefs) and reports if any step reaches through a target type: writing
+// pm.ctxs[i].Mults[j] mutates state shared across replicas no matter how
+// deep the chain goes.
+func (a *PreparedWrite) checkDest(pass *Pass, pkg *Package, targets map[string]bool, dest ast.Expr, funcName string) {
+	for {
+		dest = unparen(dest)
+		var inner ast.Expr
+		switch x := dest.(type) {
+		case *ast.SelectorExpr:
+			inner = x.X
+		case *ast.IndexExpr:
+			inner = x.X
+		case *ast.StarExpr:
+			inner = x.X
+		default:
+			return
+		}
+		if n := namedOf(pkg.Info.Types[inner].Type); n != nil && targets[qualifiedName(n)] {
+			pass.Reportf(dest.Pos(),
+				"write to %s state in %s; prepared state is shared across pool replicas and only the Prepare* construction path may mutate it",
+				qualifiedName(n), funcName)
+			return
+		}
+		dest = inner
+	}
+}

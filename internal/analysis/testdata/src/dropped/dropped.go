@@ -1,0 +1,39 @@
+// Package dropped seeds droppederr violations for the analyzer tests.
+package dropped
+
+import "errors"
+
+func mk() (int, error) { return 1, errors.New("x") }
+
+func tupleDiscard() int {
+	v, _ := mk() // want:droppederr
+	return v
+}
+
+func plainDiscard() {
+	_ = errors.New("y") // want:droppederr
+}
+
+func commaOkExempt(m map[string]error, x interface{}) error {
+	_, ok := m["k"] // map comma-ok: exempt even though the value is an error
+	_ = ok
+	s, _ := x.(string) // type-assert comma-ok: exempt
+	_ = s
+	ch := make(chan error, 1)
+	v, _ := <-ch // channel comma-ok: exempt
+	return v
+}
+
+func blessed() {
+	_, _ = mk() //microvet:ignore droppederr fixture: suppression on the same line must hold
+}
+
+func blessedAbove() {
+	//microvet:ignore droppederr fixture: suppression on the line above must hold
+	_, _ = mk()
+}
+
+func missingReason() {
+	//microvet:ignore droppederr
+	_, _ = mk() // want:droppederr
+}

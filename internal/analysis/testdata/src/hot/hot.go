@@ -1,0 +1,72 @@
+// Package hot seeds hotpathalloc violations for the analyzer tests. The
+// test configures Invoke as the root and bindIt as a closure container.
+package hot
+
+import "fmt"
+
+type thing struct {
+	buf   []int8
+	steps []func()
+}
+
+type engine interface{ run() }
+
+type fastEngine struct{}
+
+func (fastEngine) run() {
+	_ = fmt.Sprint("boxed") // want:hotpathalloc
+}
+
+// table makes viaVar reachable through the package-var-initializer rule
+// once this package contains hot code.
+var table = map[string]func(){"v": viaVar}
+
+var prefix = "a"
+
+func viaVar() {
+	s := prefix + "b" // want:hotpathalloc
+	_ = s
+	c := "a" + "b" // constant-folded: never reaches runtime, unreported
+	_ = c
+}
+
+// Invoke is the fixture root.
+func (t *thing) Invoke() {
+	t.step()
+	var e engine = fastEngine{}
+	e.run() // interface call: CHA must reach fastEngine.run
+	for _, s := range t.steps {
+		s()
+	}
+	cold()
+}
+
+func (t *thing) step() {
+	t.buf = make([]int8, 4)              // want:hotpathalloc
+	t.steps = append(t.steps, func() {}) // want:hotpathalloc
+	m := map[string]int{"k": 1}          // want:hotpathalloc
+	_ = m
+	bs := []byte("conv") // want:hotpathalloc
+	_ = bs
+	blessedAlloc()
+}
+
+func blessedAlloc() {
+	_ = make([]int, 2) //microvet:ignore hotpathalloc fixture: suppression must hold
+}
+
+//microvet:hotpath-stop fixture: construction helper the traversal must not cross
+func cold() {
+	_ = make([]int, 8) // unreported: behind the stop boundary
+}
+
+// bindIt is the fixture closure container: its body is bind-time code,
+// the literal it returns runs per invoke.
+func bindIt(n int) func() {
+	prep := make([]int8, n) // bind-time allocation: container bodies are cold
+	return func() {
+		sink(append(prep, 1)) // want:hotpathalloc
+	}
+}
+
+func sink([]int8) {}

@@ -1,0 +1,43 @@
+// Package locks seeds lockguard violations for the analyzer tests.
+package locks
+
+import "sync"
+
+// Counter mirrors the repository convention: n may only be touched under
+// Counter.mu.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by Counter.mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *Counter) ReadRLockedStyle() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// nLocked follows the caller-holds-the-lock naming convention.
+func (c *Counter) nLocked() int { return c.n }
+
+func (c *Counter) sneakyRead() int {
+	return c.n // want:lockguard
+}
+
+func (c *Counter) sneakyWrite(v int) {
+	c.n = v // want:lockguard
+}
+
+func construct() *Counter {
+	return &Counter{n: 1} // composite literals are construction, exempt
+}
+
+func blessed(c *Counter) int {
+	return c.n //microvet:ignore lockguard fixture: suppression must hold
+}

@@ -1,0 +1,13 @@
+// Package metricsa seeds metricname violations for the analyzer tests.
+package metricsa
+
+const (
+	good      = "micronets_serve_fixture_requests_total"
+	inFormat  = "# HELP micronets_serve_fixture_latency_seconds scrape head\n"
+	duplicate = "micronets_serve_fixture_shared_total" // canonical home of the family
+
+	badSubsystem = "micronets_warehouse_requests_total" // want:metricname
+	scaledUnit   = "micronets_serve_fixture_latency_ms" // want:metricname
+	doubleUnder  = "micronets_serve__fixture_total"     // want:metricname
+	noName       = "micronets_serve"                    // want:metricname
+)

@@ -1,0 +1,5 @@
+// Package metricsb re-emits a family owned by metricsa, which the
+// cross-package uniqueness rule must reject.
+package metricsb
+
+const stolen = "micronets_serve_fixture_shared_total" // want:metricname

@@ -1,0 +1,4 @@
+package nodoc // want:pkgdoc
+
+// Note there is deliberately no "Package nodoc ..." doc comment here.
+var _ = 0

@@ -1,0 +1,32 @@
+// Package prepared seeds preparedwrite violations for the analyzer tests.
+package prepared
+
+// PreparedModel mimics the immutable-after-construction kernel state.
+type PreparedModel struct {
+	Mults []int32
+	n     int
+}
+
+// PrepareIt is the construction path: writes here are allowed.
+func PrepareIt() *PreparedModel {
+	p := &PreparedModel{Mults: make([]int32, 4)}
+	p.n = 2
+	for i := range p.Mults {
+		p.Mults[i] = int32(i)
+	}
+	return p
+}
+
+func mutate(p *PreparedModel) {
+	p.n = 3        // want:preparedwrite
+	p.Mults[0] = 1 // want:preparedwrite
+	p.n++          // want:preparedwrite
+}
+
+func reads(p *PreparedModel) int32 {
+	return p.Mults[p.n] // reads are fine
+}
+
+func blessed(p *PreparedModel) {
+	p.n = 4 //microvet:ignore preparedwrite fixture: suppression must hold
+}

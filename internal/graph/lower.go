@@ -129,10 +129,16 @@ func clampRange(bits int) (int32, int32) {
 	return -128, 127
 }
 
+// actZeroPoint is the zero point of post-ReLU activation tensors: the
+// low end of the clamp range, so the whole quantized range encodes
+// non-negative values.
+func actZeroPoint(bits int) int32 {
+	lo, _ := clampRange(bits)
+	return lo
+}
+
 func (b *builder) outTensorFor(in int, oh, ow, oc int, name string) int {
-	// Activation tensors after fused ReLU: zero point at the low end.
-	lo, _ := clampRange(b.opts.ActBits)
-	return b.addTensor(name, oh, ow, oc, 0.03, lo)
+	return b.addTensor(name, oh, ow, oc, 0.03, actZeroPoint(b.opts.ActBits))
 }
 
 func (b *builder) conv(name string, in int, kh, kw, stride, outC int, rng *rand.Rand, linear bool) int {

@@ -322,6 +322,7 @@ type gemmEngine struct {
 
 func (e gemmEngine) Name() string { return e.name }
 
+//microvet:hotpath-stop per-call convenience API that binds then executes, allocating at bind time by design; the pooled serve path uses the prebound closures from bindConv2D instead
 func (e gemmEngine) Conv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out, scratch []int8) {
 	sc := Scratch{Im2col: scratch}
 	e.bindConv2D(m, op, ctx, in, out, &sc)()
@@ -371,6 +372,7 @@ func (e gemmEngine) bindConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out [
 	return func() { s.Par.For(nTiles, 1, fn) }
 }
 
+//microvet:hotpath-stop per-call convenience API that binds then executes, allocating at bind time by design; the pooled serve path uses the prebound closures from bindDense instead
 func (e gemmEngine) Dense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
 	var sc Scratch
 	e.bindDense(m, op, ctx, in, out, &sc)()
@@ -395,6 +397,8 @@ func (e gemmEngine) bindDense(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []
 // activation and weight reads are unit-stride. Per channel the taps still
 // run in (ky, kx) order, so the int32 accumulation matches Reference
 // exactly.
+//
+//microvet:hotpath-stop per-call convenience API that binds then executes, allocating at bind time by design; the pooled serve path uses the prebound closures from bindDWConv2D instead
 func (e gemmEngine) DWConv2D(m *graph.Model, op *graph.Op, ctx *Ctx, in, out []int8) {
 	var sc Scratch
 	e.bindDWConv2D(m, op, ctx, in, out, &sc)()
@@ -474,6 +478,7 @@ func clipKernel(start, kSize, limit int) (int, int) {
 	return k0, k1
 }
 
+//microvet:hotpath-stop per-call convenience API that binds then executes, allocating at bind time by design; the pooled serve path uses the prebound closures from bindAvgPool instead
 func (e gemmEngine) AvgPool(m *graph.Model, op *graph.Op, in, out []int8) {
 	var sc Scratch
 	e.bindAvgPool(m, op, in, out, &sc)()
@@ -485,6 +490,7 @@ func (e gemmEngine) bindAvgPool(m *graph.Model, op *graph.Op, in, out []int8, s 
 	return func() { s.Par.For(oh, 2, fn) }
 }
 
+//microvet:hotpath-stop per-call convenience API that binds then executes, allocating at bind time by design; the pooled serve path uses the prebound closures from bindMaxPool instead
 func (e gemmEngine) MaxPool(m *graph.Model, op *graph.Op, in, out []int8) {
 	var sc Scratch
 	e.bindMaxPool(m, op, in, out, &sc)()

@@ -31,6 +31,7 @@ type chunkTask struct {
 	lo, hi int
 }
 
+//microvet:hotpath-stop one-time worker-pool construction behind poolOnce; never re-runs on the serve path
 func initPool() {
 	poolSize = runtime.NumCPU()
 	if poolSize < 1 {

@@ -43,7 +43,7 @@ func PublishFrontier(ctx context.Context, baseURL string, file *zoo.SpecFile) ([
 		if err != nil {
 			return names, fmt.Errorf("search: publish %s: %w", s.Name, err)
 		}
-		reply, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		reply, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16)) //microvet:ignore droppederr best-effort error-body capture; the status code drives the real error below
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			// The server's structured error (e.g. the 409 RAM-budget

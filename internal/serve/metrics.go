@@ -110,7 +110,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeGraphMetrics(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(b.String()))
+	// A failed scrape write means the scraper hung up; nothing useful to do.
+	_, _ = w.Write([]byte(b.String())) //microvet:ignore droppederr client disconnects during a scrape are not actionable
 }
 
 // writeGraphMetrics renders the inference-graph router counters: per-graph

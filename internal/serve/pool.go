@@ -90,6 +90,8 @@ func (p *Pool) WeightBytes() int { return p.prep.WeightBytes() }
 // grow tries to construct one more interpreter within the bound. It
 // returns nil when the pool is already at max (or construction failed, a
 // can't-happen-short-of-OOM case given warm-up succeeded).
+//
+//microvet:hotpath-stop lazy pool growth is construction, not serving: a replica allocates once here and then recycles through Get/Put
 func (p *Pool) grow() *tflm.Interpreter {
 	p.mu.Lock()
 	if p.created >= cap(p.ch) {

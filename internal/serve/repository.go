@@ -55,14 +55,14 @@ type Repository struct {
 	cfg RepositoryConfig
 
 	mu      sync.Mutex
-	models  map[string]*repoModel
-	planned int // bytes reserved by live (loading+active+draining) versions
-	closed  bool
+	models  map[string]*repoModel // guarded by Repository.mu
+	planned int                   // bytes reserved by live (loading+active+draining) versions; guarded by Repository.mu
+	closed  bool                  // guarded by Repository.mu
 
 	// unloadGuard, when set, can veto an Unload (e.g. the graph registry
 	// vetoes unloading a model a registered graph references).
 	guardMu     sync.RWMutex
-	unloadGuard func(model string) error
+	unloadGuard func(model string) error // guarded by Repository.guardMu
 
 	closeOnce sync.Once
 	lowerings atomic.Uint64
@@ -543,7 +543,7 @@ func (r *Repository) WatchSpecs(ctx context.Context, paths []string, interval ti
 	loaded := make(map[string]string) // signature that fully loaded
 	failed := make(map[string]string) // signature already logged as failing
 	tick := func() {
-		for _, p := range expandSpecPaths(paths) {
+		for _, p := range expandSpecPaths(r.cfg.Logger, paths) {
 			fi, err := os.Stat(p)
 			if err != nil {
 				continue
@@ -582,12 +582,19 @@ func (r *Repository) WatchSpecs(ctx context.Context, paths []string, interval ti
 }
 
 // expandSpecPaths resolves directories to their *.json entries.
-func expandSpecPaths(paths []string) []string {
+func expandSpecPaths(logger *slog.Logger, paths []string) []string {
 	var out []string
 	for _, p := range paths {
 		fi, err := os.Stat(p)
 		if err == nil && fi.IsDir() {
-			matches, _ := filepath.Glob(filepath.Join(p, "*.json"))
+			matches, err := filepath.Glob(filepath.Join(p, "*.json"))
+			if err != nil {
+				// Only reachable when p itself contains pattern
+				// metacharacters; surface it instead of silently watching
+				// an empty directory.
+				logger.Error("spec watch: cannot glob spec directory", "dir", p, "err", err)
+				continue
+			}
 			sort.Strings(matches)
 			out = append(out, matches...)
 			continue

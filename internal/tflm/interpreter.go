@@ -211,20 +211,22 @@ func (ip *Interpreter) InvokeBatchInto(inputs, outs [][]int8) error {
 	in := ip.model.Tensors[ip.model.Input]
 	nOut := ip.model.Tensors[ip.model.Output].Elems()
 	if len(outs) != len(inputs) {
-		return fmt.Errorf("tflm: model %s: %d outputs for %d inputs", ip.model.Name, len(outs), len(inputs))
+		return fmt.Errorf("tflm: model %s: %d outputs for %d inputs", ip.model.Name, len(outs), len(inputs)) //microvet:ignore hotpathalloc validation rejection: building the error IS the cold path here
 	}
 	for b, x := range inputs {
 		if len(x) != in.Elems() {
+			//microvet:ignore hotpathalloc validation rejection: building the error IS the cold path here
 			return fmt.Errorf("tflm: model %s: batch input %d has %d elements, model wants %d",
 				ip.model.Name, b, len(x), in.Elems())
 		}
 		if len(outs[b]) != nOut {
+			//microvet:ignore hotpathalloc validation rejection: building the error IS the cold path here
 			return fmt.Errorf("tflm: model %s: batch output %d has %d elements, model emits %d",
 				ip.model.Name, b, len(outs[b]), nOut)
 		}
 		copy(ip.Input(), x)
 		if err := ip.Invoke(); err != nil {
-			return fmt.Errorf("tflm: batch input %d: %w", b, err)
+			return fmt.Errorf("tflm: batch input %d: %w", b, err) //microvet:ignore hotpathalloc validation rejection: building the error IS the cold path here
 		}
 		copy(outs[b], ip.Output())
 	}

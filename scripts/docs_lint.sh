@@ -1,53 +1,12 @@
 #!/usr/bin/env bash
-# docs_lint.sh — fail if a first-class package lacks a package comment.
+# docs_lint.sh — DEPRECATED thin wrapper, kept for one release.
 #
-# Every package listed here must have a `// Package <name> ...` godoc
-# comment (kept in its doc.go by convention, though the check accepts it
-# on any file's package clause). This is the CI teeth behind
-# docs/ARCHITECTURE.md: a package can't be added to the public story
-# without documenting itself.
+# The package-comment check moved into the microvet suite as the
+# `pkgdoc` analyzer (internal/analysis, docs/ANALYSIS.md), which is
+# typed against the real AST instead of grep/awk heuristics and runs as
+# part of `make lint`. Call microvet directly; this wrapper only exists
+# so stale invocations keep working and will be removed next release.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-
-PACKAGES=(
-  internal/kernels
-  internal/tflm
-  internal/mcu
-  internal/obs
-  internal/search
-  internal/serve
-  internal/servegraph
-  internal/zoo
-)
-
-fail=0
-for pkg in "${PACKAGES[@]}"; do
-  name=$(basename "$pkg")
-  if ! grep -l "^// Package ${name} " "$pkg"/*.go >/dev/null 2>&1; then
-    echo "docs-lint: package ${pkg} has no '// Package ${name} ...' comment (add a doc.go)" >&2
-    fail=1
-    continue
-  fi
-  # The comment must sit directly above a package clause, not float free.
-  ok=0
-  for f in $(grep -l "^// Package ${name} " "$pkg"/*.go); do
-    if awk -v name="$name" '
-      /^\/\/ Package / && $3 == name { seen = 1 }
-      /^package / { if (seen && $2 == name) { found = 1 }; seen = 0 }
-      /^$/ { seen = 0 }
-      END { exit found ? 0 : 1 }
-    ' "$f"; then
-      ok=1
-      break
-    fi
-  done
-  if [ "$ok" -ne 1 ]; then
-    echo "docs-lint: ${pkg}: '// Package ${name}' comment is not attached to the package clause" >&2
-    fail=1
-  fi
-done
-
-if [ "$fail" -ne 0 ]; then
-  exit 1
-fi
-echo "docs-lint: all $(echo "${#PACKAGES[@]}") packages carry package comments"
+echo "docs_lint.sh is deprecated: use 'go run ./cmd/microvet -analyzers pkgdoc ./...'" >&2
+exec go run ./cmd/microvet -analyzers pkgdoc ./...
