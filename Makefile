@@ -44,6 +44,21 @@ serve:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# router runs the model-mesh placement router; point it at running
+# replicas with REPLICAS="http://host:8151,http://host:8152".
+.PHONY: router
+router:
+	$(GO) run ./cmd/router -replicas "$(REPLICAS)"
+
+# mesh-smoke boots two budgeted cmd/serve replicas plus cmd/router and
+# proves the fleet tier: merged /v2 views, budget spill placement, a
+# fleet-wide 409, replica-kill failover, mesh metrics, and an SLO-gated
+# loadgen run through the front door — the same script the CI mesh-smoke
+# job runs.
+.PHONY: mesh-smoke
+mesh-smoke:
+	./scripts/mesh_smoke.sh
+
 # search-smoke runs just the two-stage NAS search end to end (64 proxy
 # trials, 2 finalists re-ranked by 30-step real training runs) and
 # asserts the trained accuracies landed in the trial log and
@@ -84,4 +99,4 @@ profile:
 loadgen:
 	$(GO) run ./cmd/loadgen
 
-ci: build lint test bench-smoke fuzz-smoke serve-smoke cover
+ci: build lint test bench-smoke fuzz-smoke serve-smoke mesh-smoke cover

@@ -1,0 +1,103 @@
+// Command router runs the model-mesh placement router: one /v2 front
+// door over N cmd/serve replicas. It health-checks the replica list,
+// places admin loads by consistent-hash affinity with budget spill
+// (a 409 ram_budget_exceeded from one replica moves the load to the
+// next candidate), and proxies the data plane with bounded
+// retry-on-alternate-replica and exponential backoff.
+//
+// Usage:
+//
+//	router -replicas http://127.0.0.1:8151,http://127.0.0.1:8152
+//	router -addr :8150 -replicas ...          # front-door listen address
+//	router -health-interval 500ms             # faster mark-down/mark-up
+//	router -down-after 3 -up-after 2          # health hysteresis
+//	router -max-attempts 2 -retry-backoff 10ms
+//
+// Endpoints (same /v2 surface as one replica, fleet-merged where a
+// replica answer would be partial):
+//
+//	GET  /v2/health/live | /v2/health/ready   (ready while ≥1 replica is up)
+//	GET  /v2/models                           (fleet union)
+//	GET  /v2/models/{name} | .../profile
+//	POST /v2/models/{name}/infer
+//	GET  /v2/repository/index                 (merged fleet view + per-replica budgets)
+//	POST /v2/repository/models/{name}/load    (placed: affinity + budget spill)
+//	POST /v2/repository/models/{name}/unload  (fanned out to holders)
+//	GET  /v2/graphs | /v2/graphs/{name} | POST .../infer
+//	PUT  /v2/graphs/{name}                    (placed where the models live)
+//	DELETE /v2/graphs/{name}
+//	GET  /metrics                             (micronets_mesh_* family)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"micronets/internal/mesh"
+)
+
+func main() {
+	addr := flag.String("addr", ":8150", "front-door listen address")
+	replicas := flag.String("replicas", "", "comma-separated backend replica base URLs (required)")
+	healthInterval := flag.Duration("health-interval", time.Second, "period of the replica health/fleet-view poll")
+	downAfter := flag.Int("down-after", 2, "consecutive failed probes before a replica is marked down")
+	upAfter := flag.Int("up-after", 1, "consecutive successful probes before a down replica is marked up")
+	maxAttempts := flag.Int("max-attempts", 3, "max replicas one proxied request may try")
+	retryBackoff := flag.Duration("retry-backoff", 25*time.Millisecond, "initial pause before retrying on an alternate replica (doubles per attempt, capped at 1s)")
+	vnodes := flag.Int("vnodes", 128, "virtual nodes per replica on the consistent-hash ring")
+	logFormat := flag.String("log", "text", "request log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logFormat == "json" {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	urls := splitList(*replicas)
+	if len(urls) == 0 {
+		logger.Error("at least one -replicas URL is required")
+		os.Exit(1)
+	}
+
+	rt, err := mesh.New(mesh.Config{
+		Replicas:       urls,
+		HealthInterval: *healthInterval,
+		DownAfter:      *downAfter,
+		UpAfter:        *upAfter,
+		MaxAttempts:    *maxAttempts,
+		RetryBackoff:   *retryBackoff,
+		VirtualNodes:   *vnodes,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Error("router construction failed", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := rt.ListenAndServe(ctx, *addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("router failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("router exiting")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

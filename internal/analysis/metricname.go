@@ -36,7 +36,7 @@ type MetricName struct {
 func NewMetricName() *MetricName {
 	return &MetricName{
 		Prefix:     "micronets_",
-		Subsystems: []string{"serve", "graph", "graphs"},
+		Subsystems: []string{"serve", "graph", "graphs", "mesh"},
 		ForbiddenUnits: []string{
 			"ms", "us", "ns", "millis", "micros", "nanos",
 			"kb", "mb", "gb", "kib", "mib", "gib",

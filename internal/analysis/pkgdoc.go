@@ -24,6 +24,7 @@ func NewPkgDoc() *PkgDoc {
 		"internal/graph",
 		"internal/kernels",
 		"internal/mcu",
+		"internal/mesh",
 		"internal/obs",
 		"internal/search",
 		"internal/serve",

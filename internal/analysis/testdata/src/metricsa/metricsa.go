@@ -3,6 +3,7 @@ package metricsa
 
 const (
 	good      = "micronets_serve_fixture_requests_total"
+	meshOK    = "micronets_mesh_fixture_spills_total" // fleet tier subsystem is whitelisted
 	inFormat  = "# HELP micronets_serve_fixture_latency_seconds scrape head\n"
 	duplicate = "micronets_serve_fixture_shared_total" // canonical home of the family
 

@@ -1,0 +1,21 @@
+// Package mesh is the fleet tier: a model-mesh placement router that
+// fronts N cmd/serve replicas — each a budget-bounded model repository —
+// behind one /v2 door.
+//
+// The router discovers replicas from a static list, health-checks each
+// one via /v2/health/ready (mark-down after consecutive failures,
+// mark-up after consecutive successes), and keeps a per-replica fleet
+// view: which models and graphs the replica serves, and how much of its
+// RAM budget is free. Admin loads are *placed*: candidates are ordered
+// by consistent-hash affinity on the model name, and a replica that
+// rejects the load with a structured 409 ram_budget_exceeded spills the
+// placement to the next candidate — the same SRAM-class bin-packing the
+// paper does per device, lifted to the fleet. The data plane
+// (models/{name}/infer, graphs/{name}/infer, metadata, profile) proxies
+// to a replica holding the target, retrying on an alternate replica
+// with exponential backoff when the connection fails, and
+// GET /v2/repository/index answers with the merged fleet view.
+// Everything the router observes — per-replica request/error/latency,
+// placement decisions, spills, health transitions — is exported as the
+// micronets_mesh_* metric family.
+package mesh

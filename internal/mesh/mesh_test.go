@@ -1,0 +1,676 @@
+package mesh
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeReplica emulates the slice of the cmd/serve surface the router
+// talks to: health, repository index with budget accounting, loads
+// that 409 over budget, unloads, infer, and a minimal graph API.
+type fakeReplica struct {
+	tag string // echoed in infer responses to identify who answered
+
+	mu      sync.Mutex
+	budget  int            // 0 = unbudgeted
+	costs   map[string]int // model name → bytes a load would plan
+	models  map[string]bool
+	graphs  map[string][]string // graph name → referenced models
+	planned int
+
+	srv *httptest.Server
+}
+
+func newFakeReplica(t *testing.T, tag string, budget int, costs map[string]int) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{
+		tag:    tag,
+		budget: budget,
+		costs:  costs,
+		models: map[string]bool{},
+		graphs: map[string][]string{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/health/ready", f.handleReady)
+	mux.HandleFunc("GET /v2/repository/index", f.handleIndex)
+	mux.HandleFunc("GET /v2/graphs", f.handleGraphList)
+	mux.HandleFunc("POST /v2/repository/models/{name}/load", f.handleLoad)
+	mux.HandleFunc("POST /v2/repository/models/{name}/unload", f.handleUnload)
+	mux.HandleFunc("GET /v2/models/{name}", f.handleMeta)
+	mux.HandleFunc("POST /v2/models/{name}/infer", f.handleInfer)
+	mux.HandleFunc("PUT /v2/graphs/{name}", f.handleGraphPut)
+	mux.HandleFunc("POST /v2/graphs/{name}/infer", f.handleGraphInfer)
+	mux.HandleFunc("DELETE /v2/graphs/{name}", f.handleGraphDelete)
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) url() string { return f.srv.URL }
+
+func (f *fakeReplica) loadDirect(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.models[name] = true
+	f.planned += f.costs[name]
+}
+
+func (f *fakeReplica) unloadDirect(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.models[name] {
+		delete(f.models, name)
+		f.planned -= f.costs[name]
+	}
+}
+
+func (f *fakeReplica) holds(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.models[name]
+}
+
+func (f *fakeReplica) handleReady(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	n := len(f.models)
+	f.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "models_ready": n})
+}
+
+func (f *fakeReplica) handleIndex(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rows := []map[string]any{}
+	for name := range f.models {
+		rows = append(rows, map[string]any{
+			"name": name, "state": "READY", "task": "test", "version": 1,
+			"planned_ram_bytes": f.costs[name],
+		})
+	}
+	free := -1
+	if f.budget > 0 {
+		free = f.budget - f.planned
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":            rows,
+		"ram_budget_bytes":  f.budget,
+		"ram_planned_bytes": f.planned,
+		"free_bytes":        free,
+	})
+}
+
+func (f *fakeReplica) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rows := []map[string]any{}
+	for name, models := range f.graphs {
+		rows = append(rows, map[string]any{"name": name, "models": models})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": rows})
+}
+
+func (f *fakeReplica) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cost := f.costs[name]
+	if cost == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "unknown model " + name})
+		return
+	}
+	if !f.models[name] && f.budget > 0 && f.planned+cost > f.budget {
+		writeJSON(w, http.StatusConflict, budget409{
+			Error:        fmt.Sprintf("model %s needs %d bytes, budget %d", name, cost, f.budget),
+			Code:         "ram_budget_exceeded",
+			Model:        name,
+			NeededBytes:  cost,
+			BudgetBytes:  f.budget,
+			PlannedBytes: f.planned,
+			FreeBytes:    f.budget - f.planned,
+		})
+		return
+	}
+	if !f.models[name] {
+		f.models[name] = true
+		f.planned += cost
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "state": "READY"})
+}
+
+func (f *fakeReplica) handleUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.models[name] {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "not loaded"})
+		return
+	}
+	delete(f.models, name)
+	f.planned -= f.costs[name]
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "state": "UNLOADED"})
+}
+
+func (f *fakeReplica) handleMeta(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !f.holds(name) {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown model " + name})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "platform": "fake"})
+}
+
+func (f *fakeReplica) handleInfer(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !f.holds(name) {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown model " + name})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model_name": name, "served_by": f.tag})
+}
+
+func (f *fakeReplica) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var spec struct {
+		Models []string `json:"models"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad JSON"})
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range spec.Models {
+		if !f.models[m] {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error": "unknown model " + m, "code": "unknown_model"})
+			return
+		}
+	}
+	f.graphs[name] = spec.Models
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "revision": 1})
+}
+
+func (f *fakeReplica) handleGraphInfer(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	f.mu.Lock()
+	_, ok := f.graphs[name]
+	f.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown graph " + name})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graph": name, "served_by": f.tag})
+}
+
+func (f *fakeReplica) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.graphs[name]; !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown graph"})
+		return
+	}
+	delete(f.graphs, name)
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "deleted": true})
+}
+
+// newTestRouter builds a router over the fakes with a dormant health
+// loop (tests drive probes explicitly via probeAll / setUp).
+func newTestRouter(t *testing.T, fakes ...*fakeReplica) *Router {
+	t.Helper()
+	urls := make([]string, len(fakes))
+	for i, f := range fakes {
+		urls[i] = f.url()
+	}
+	rt, err := New(Config{
+		Replicas:       urls,
+		HealthInterval: time.Hour, // tests probe explicitly
+		RetryBackoff:   time.Millisecond,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// keyOwnedBy finds a model name whose ring walk starts at the given
+// replica, so spill/retry tests are deterministic regardless of how the
+// ephemeral httptest URLs hash.
+func keyOwnedBy(t *testing.T, rt *Router, url, prefix string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%s-%d", prefix, i)
+		if rt.ring.Owner(k) == url {
+			return k
+		}
+	}
+	t.Fatal("no key found owned by " + url)
+	return ""
+}
+
+func doReq(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out := map[string]any{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: non-JSON body %q", method, path, rec.Body.String())
+	}
+	return rec, out
+}
+
+// TestPlacementSpillsToFreeReplica forces the affinity owner to be the
+// full replica: the load must spill to the replica with headroom, and
+// the spill must be visible in the per-replica counters.
+func TestPlacementSpillsToFreeReplica(t *testing.T) {
+	costs := map[string]int{}
+	a := newFakeReplica(t, "A", 100, costs)
+	b := newFakeReplica(t, "B", 1000, costs)
+	rt := newTestRouter(t, a, b)
+	model := keyOwnedBy(t, rt, a.url(), "spill")
+	costs[model] = 500 // fits B, not A
+
+	rec, _ := doReq(t, rt.Handler(), "POST", "/v2/repository/models/"+model+"/load", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("load = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Micronets-Replica"); got != b.url() {
+		t.Errorf("placed on %s, want %s", got, b.url())
+	}
+	if !b.holds(model) || a.holds(model) {
+		t.Errorf("model on A=%v B=%v; want B only", a.holds(model), b.holds(model))
+	}
+	if got := rt.byURL[a.url()].spills.Load(); got != 1 {
+		t.Errorf("A spills = %d, want 1", got)
+	}
+	if got := rt.byURL[b.url()].placements.Load(); got != 1 {
+		t.Errorf("B placements = %d, want 1", got)
+	}
+	// The synchronous post-placement refresh makes the new model visible
+	// in the merged index immediately.
+	rec, idx := doReq(t, rt.Handler(), "GET", "/v2/repository/index", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index = %d", rec.Code)
+	}
+	found := false
+	for _, row := range idx["models"].([]any) {
+		m := row.(map[string]any)
+		if m["name"] == model && m["replica"] == b.url() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("merged index lacks %s on %s: %v", model, b.url(), idx["models"])
+	}
+}
+
+// TestPlacementFleetwide409 checks the router's own 409 once every
+// replica has spilled, and that the pre-skip path (free_bytes <
+// needed hint) counts as a spill without an HTTP call.
+func TestPlacementFleetwide409(t *testing.T) {
+	costs := map[string]int{}
+	a := newFakeReplica(t, "A", 100, costs)
+	b := newFakeReplica(t, "B", 1000, costs)
+	rt := newTestRouter(t, a, b)
+	model := keyOwnedBy(t, rt, a.url(), "huge")
+	costs[model] = 5000 // fits nothing
+
+	rec, body := doReq(t, rt.Handler(), "POST", "/v2/repository/models/"+model+"/load", nil)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("load = %d, want 409; body %s", rec.Code, rec.Body.String())
+	}
+	if body["code"] != "ram_budget_exceeded" {
+		t.Errorf("code = %v", body["code"])
+	}
+	if body["needed_bytes"].(float64) != 5000 {
+		t.Errorf("needed_bytes = %v, want 5000", body["needed_bytes"])
+	}
+	if rt.placeFails.Load() != 1 {
+		t.Errorf("placement failures = %d, want 1", rt.placeFails.Load())
+	}
+	// B was pre-skipped off the 409 hint: spill counted, no load call.
+	if got := rt.byURL[b.url()].spills.Load(); got != 1 {
+		t.Errorf("B spills = %d, want 1 (free_bytes pre-skip)", got)
+	}
+	if b.holds(model) {
+		t.Error("model must not land anywhere")
+	}
+}
+
+// TestLoadAffinity: with headroom everywhere, the load lands on the
+// ring owner.
+func TestLoadAffinity(t *testing.T) {
+	costs := map[string]int{}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 0, costs)
+	rt := newTestRouter(t, a, b)
+	model := keyOwnedBy(t, rt, b.url(), "aff")
+	costs[model] = 10
+
+	rec, _ := doReq(t, rt.Handler(), "POST", "/v2/repository/models/"+model+"/load", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("load = %d", rec.Code)
+	}
+	if !b.holds(model) || a.holds(model) {
+		t.Errorf("affinity owner is %s but model on A=%v B=%v", b.url(), a.holds(model), b.holds(model))
+	}
+}
+
+// TestInferRetriesOnAlternateReplica kills the affinity-preferred
+// replica's listener: the proxied infer must fail over to the survivor
+// within one request.
+func TestInferRetriesOnAlternateReplica(t *testing.T) {
+	costs := map[string]int{}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 0, costs)
+	rt := newTestRouter(t, a, b)
+	model := keyOwnedBy(t, rt, a.url(), "retry")
+	costs[model] = 10
+	a.loadDirect(model)
+	b.loadDirect(model)
+	rt.probeAll(1) // pick up both holders
+
+	a.srv.Close() // connection failures from now on; A still marked up
+
+	rec, body := doReq(t, rt.Handler(), "POST", "/v2/models/"+model+"/infer", map[string]any{"inputs": []any{}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if body["served_by"] != "B" {
+		t.Errorf("served_by = %v, want B", body["served_by"])
+	}
+	if rt.retries.Load() == 0 {
+		t.Error("retry counter did not move")
+	}
+	if rt.byURL[a.url()].errors.Load() == 0 {
+		t.Error("A error counter did not move")
+	}
+}
+
+// TestInferStaleView404FallsThrough: the router's view says A holds the
+// model but A has already dropped it — the 404 must fall through to the
+// real holder instead of surfacing.
+func TestInferStaleView404FallsThrough(t *testing.T) {
+	costs := map[string]int{}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 0, costs)
+	rt := newTestRouter(t, a, b)
+	model := keyOwnedBy(t, rt, a.url(), "stale")
+	costs[model] = 10
+	a.loadDirect(model)
+	b.loadDirect(model)
+	rt.probeAll(1)
+	a.unloadDirect(model) // behind the router's back
+
+	rec, body := doReq(t, rt.Handler(), "POST", "/v2/models/"+model+"/infer", map[string]any{"inputs": []any{}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("infer = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if body["served_by"] != "B" {
+		t.Errorf("served_by = %v, want B", body["served_by"])
+	}
+	// A model on no replica is a plain 404.
+	rec, _ = doReq(t, rt.Handler(), "POST", "/v2/models/definitely-absent/infer", map[string]any{"inputs": []any{}})
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("absent model infer = %d, want 404", rec.Code)
+	}
+}
+
+// TestUnloadFansOutToHolders: an unload through the router removes the
+// model from every replica holding it; unloading a model nobody holds
+// is a 404.
+func TestUnloadFansOutToHolders(t *testing.T) {
+	costs := map[string]int{"m": 10}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 0, costs)
+	rt := newTestRouter(t, a, b)
+	a.loadDirect("m")
+	b.loadDirect("m")
+	rt.probeAll(1)
+
+	rec, body := doReq(t, rt.Handler(), "POST", "/v2/repository/models/m/unload", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unload = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := len(body["unloaded_from"].([]any)); got != 2 {
+		t.Errorf("unloaded_from %d replicas, want 2", got)
+	}
+	if a.holds("m") || b.holds("m") {
+		t.Error("model still loaded somewhere")
+	}
+	rec, _ = doReq(t, rt.Handler(), "POST", "/v2/repository/models/m/unload", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("second unload = %d, want 404", rec.Code)
+	}
+}
+
+// TestMergedViewsAndReady checks the fleet union surfaces and the
+// readiness aggregate across health flips.
+func TestMergedViewsAndReady(t *testing.T) {
+	costs := map[string]int{"only-a": 10, "only-b": 20, "shared": 5}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 1000, costs)
+	rt := newTestRouter(t, a, b)
+	a.loadDirect("only-a")
+	a.loadDirect("shared")
+	b.loadDirect("only-b")
+	b.loadDirect("shared")
+	rt.probeAll(1)
+
+	rec, body := doReq(t, rt.Handler(), "GET", "/v2/models", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("models = %d", rec.Code)
+	}
+	var names []string
+	for _, m := range body["models"].([]any) {
+		names = append(names, m.(map[string]any)["name"].(string))
+	}
+	if got := strings.Join(names, ","); got != "only-a,only-b,shared" {
+		t.Errorf("fleet model union = %s", got)
+	}
+
+	rec, body = doReq(t, rt.Handler(), "GET", "/v2/health/ready", nil)
+	if rec.Code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("ready = %d %v", rec.Code, body)
+	}
+	if body["replicas_up"].(float64) != 2 || body["models_ready"].(float64) != 3 {
+		t.Errorf("ready body = %v", body)
+	}
+
+	// Mixed budgets: one unbudgeted replica makes the fleet totals
+	// unbounded (-1), matching the single-replica convention.
+	rec, idx := doReq(t, rt.Handler(), "GET", "/v2/repository/index", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index = %d", rec.Code)
+	}
+	if idx["ram_budget_bytes"].(float64) != -1 || idx["free_bytes"].(float64) != -1 {
+		t.Errorf("fleet totals = %v / %v, want -1 / -1", idx["ram_budget_bytes"], idx["free_bytes"])
+	}
+	if got := len(idx["replicas"].([]any)); got != 2 {
+		t.Errorf("replica summaries = %d, want 2", got)
+	}
+
+	// All replicas down → 503, not ready.
+	for _, rep := range rt.replicas {
+		rep.setUp(false)
+	}
+	rec, body = doReq(t, rt.Handler(), "GET", "/v2/health/ready", nil)
+	if rec.Code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Errorf("all-down ready = %d %v", rec.Code, body)
+	}
+	rec, _ = doReq(t, rt.Handler(), "POST", "/v2/models/shared/infer", map[string]any{})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("all-down infer = %d, want 503", rec.Code)
+	}
+}
+
+// TestGraphPutPlacesWhereModelsLive: a graph registration spills off
+// replicas lacking the referenced models and lands where they live;
+// graph infer then routes there.
+func TestGraphPutPlacesWhereModelsLive(t *testing.T) {
+	costs := map[string]int{"gm": 10}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 0, costs)
+	rt := newTestRouter(t, a, b)
+	b.loadDirect("gm")
+	rt.probeAll(1)
+	graph := keyOwnedBy(t, rt, a.url(), "graph") // affinity prefers the wrong replica
+
+	rec, _ := doReq(t, rt.Handler(), "PUT", "/v2/graphs/"+graph, map[string]any{"models": []string{"gm"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("graph put = %d, body %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Micronets-Replica"); got != b.url() {
+		t.Errorf("graph placed on %s, want %s", got, b.url())
+	}
+	rec, body := doReq(t, rt.Handler(), "POST", "/v2/graphs/"+graph+"/infer", map[string]any{})
+	if rec.Code != http.StatusOK || body["served_by"] != "B" {
+		t.Errorf("graph infer = %d %v, want 200 via B", rec.Code, body)
+	}
+	// Merged graph list includes it after the post-placement refresh.
+	rec, gl := doReq(t, rt.Handler(), "GET", "/v2/graphs", nil)
+	if rec.Code != http.StatusOK || len(gl["graphs"].([]any)) != 1 {
+		t.Errorf("fleet graph list = %d %v", rec.Code, gl)
+	}
+	rec, _ = doReq(t, rt.Handler(), "DELETE", "/v2/graphs/"+graph, nil)
+	if rec.Code != http.StatusOK {
+		t.Errorf("graph delete = %d", rec.Code)
+	}
+}
+
+// TestTraceIDPropagation: an inbound trace ID survives the proxy hop
+// and is minted when absent.
+func TestTraceIDPropagation(t *testing.T) {
+	costs := map[string]int{"m": 10}
+	a := newFakeReplica(t, "A", 0, costs)
+	rt := newTestRouter(t, a)
+	a.loadDirect("m")
+	rt.probeAll(1)
+
+	req := httptest.NewRequest("GET", "/v2/models/m", nil)
+	req.Header.Set("X-Micronets-Trace-Id", "trace-in")
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Micronets-Trace-Id"); got != "trace-in" {
+		t.Errorf("trace id = %q, want trace-in", got)
+	}
+	rec2 := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec2, httptest.NewRequest("GET", "/v2/models/m", nil))
+	if rec2.Header().Get("X-Micronets-Trace-Id") == "" {
+		t.Error("no trace id minted")
+	}
+}
+
+// TestMetricsRender sanity-checks the micronets_mesh_* exposition:
+// family heads present, per-replica series labeled, counters moved.
+func TestMetricsRender(t *testing.T) {
+	costs := map[string]int{"m": 10}
+	a := newFakeReplica(t, "A", 100, costs)
+	rt := newTestRouter(t, a)
+	a.loadDirect("m")
+	rt.probeAll(1)
+	doReq(t, rt.Handler(), "POST", "/v2/models/m/infer", map[string]any{})
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	page := rec.Body.String()
+	for _, want := range []string{
+		"micronets_mesh_replicas 1",
+		"micronets_mesh_replicas_up 1",
+		"micronets_mesh_replica_up{replica=",
+		"micronets_mesh_replica_requests_total{replica=",
+		"micronets_mesh_request_latency_seconds_bucket",
+		"# TYPE micronets_mesh_request_latency_seconds histogram",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page lacks %q", want)
+		}
+	}
+}
+
+// TestConcurrentInferStorm hammers the data plane while one replica
+// flaps up/down, under -race: no panics, and every response is either a
+// success (served by a live replica) or a clean routing error.
+func TestConcurrentInferStorm(t *testing.T) {
+	costs := map[string]int{"m": 10}
+	a := newFakeReplica(t, "A", 0, costs)
+	b := newFakeReplica(t, "B", 0, costs)
+	rt := newTestRouter(t, a, b)
+	a.loadDirect("m")
+	b.loadDirect("m")
+	rt.probeAll(1)
+
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() { // single flipper: hysteresis counters are not data-path state
+		defer flips.Done()
+		rep := rt.byURL[a.url()]
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				rep.setUp(true)
+				return
+			default:
+				rep.setUp(i%2 == 0)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 1024)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				resp, err := http.Post(front.URL+"/v2/models/m/infer", "application/json",
+					strings.NewReader(`{"inputs":[]}`))
+				if err != nil {
+					errs <- err.Error()
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("status %d", resp.StatusCode)
+				}
+				drainClose(resp.Body)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flips.Wait()
+	close(errs)
+	// B stays up throughout, so every request must succeed: a flap of A
+	// is at worst one extra attempt.
+	for e := range errs {
+		t.Errorf("storm request failed: %s", e)
+	}
+}

@@ -1,0 +1,254 @@
+package mesh
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// budget409 is the structured ram_budget_exceeded body a replica
+// answers an over-budget load with. It doubles as the router's own
+// fleet-wide 409 once every candidate has spilled.
+type budget409 struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	Model        string `json:"model"`
+	NeededBytes  int    `json:"needed_bytes"`
+	BudgetBytes  int    `json:"budget_bytes"`
+	PlannedBytes int    `json:"planned_bytes"`
+	FreeBytes    int    `json:"free_bytes"`
+}
+
+// handleLoad places an admin load onto the fleet. Candidates are the up
+// replicas in the model's ring-affinity order, holders first (a reload
+// should land where the model already lives). A candidate is skipped
+// up-front when its last observed free_bytes already can't fit the
+// needed bytes a previous 409 reported; a candidate that answers 409
+// ram_budget_exceeded spills the placement to the next one. Any other
+// replica answer (200, 400 bad spec, ...) is final and relayed. When
+// every candidate spilled, the router answers its own 409 with the
+// largest free budget seen, so the caller knows how far over the fleet
+// the load was.
+func (rt *Router) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	cands := rt.candidates(name, func(rep *replica) bool { return rep.holdsModel(name) })
+	if len(cands) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, meshError{
+			Error: "no replicas available", Code: "no_replicas"})
+		return
+	}
+	neededHint := 0 // from the first 409; enables free_bytes pre-skips
+	spilled := 0
+	maxFree := -1
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	for _, rep := range cands {
+		if free := rep.freeBytes(); free >= 0 {
+			if free > maxFree {
+				maxFree = free
+			}
+			// Pre-skip only on evidence: a hint from a real 409.
+			if neededHint > 0 && free < neededHint {
+				rep.spills.Add(1)
+				spilled++
+				continue
+			}
+		}
+		resp, respBody, err := rt.attempt(rep, r, r.URL.Path, body)
+		if err != nil {
+			lastErr = err
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusConflict {
+			var be budget409
+			if json.Unmarshal(respBody, &be) == nil && be.Code == "ram_budget_exceeded" {
+				rep.spills.Add(1)
+				spilled++
+				if be.NeededBytes > neededHint {
+					neededHint = be.NeededBytes
+				}
+				if be.FreeBytes > maxFree {
+					maxFree = be.FreeBytes
+				}
+				continue
+			}
+		}
+		if resp.StatusCode == http.StatusOK {
+			rep.placements.Add(1)
+			// Refresh the winner synchronously so the data plane and the
+			// fleet index see the new model before the next health tick.
+			_ = rep.refreshView(rt.cfg.Client) //microvet:ignore droppederr view refresh is best-effort; the health loop repairs it within one interval
+		}
+		writeProxied(w, rep, resp, respBody)
+		return
+	}
+	if spilled > 0 {
+		rt.placeFails.Add(1)
+		writeJSON(w, http.StatusConflict, budget409{
+			Error: fmt.Sprintf(
+				"model %s does not fit on any of %d replicas (needs %d bytes, best free %d)",
+				name, len(cands), neededHint, maxFree),
+			Code:        "ram_budget_exceeded",
+			Model:       name,
+			NeededBytes: neededHint,
+			FreeBytes:   maxFree,
+		})
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, meshError{
+		Error: fmt.Sprintf("all replicas failed: %v", lastErr), Code: "replicas_unreachable"})
+}
+
+// handleUnload fans the unload out to every up replica holding the
+// model (per the fleet view) and aggregates: 200 when every holder
+// unloaded, 404 when none holds it, the first non-OK replica answer
+// otherwise.
+func (rt *Router) handleUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	holders := rt.holdersOf(name, func(rep *replica) bool { return rep.holdsModel(name) })
+	if len(holders) == 0 {
+		writeJSON(w, http.StatusNotFound, meshError{
+			Error: fmt.Sprintf("model %s is not loaded on any replica", name)})
+		return
+	}
+	unloaded := []string{}
+	for _, rep := range holders {
+		resp, respBody, err := rt.attempt(rep, r, r.URL.Path, body)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, meshError{
+				Error: fmt.Sprintf("unload on %s failed: %v", rep.url, err),
+				Code:  "replicas_unreachable"})
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			writeProxied(w, rep, resp, respBody)
+			return
+		}
+		unloaded = append(unloaded, rep.url)
+		_ = rep.refreshView(rt.cfg.Client) //microvet:ignore droppederr view refresh is best-effort; the health loop repairs it within one interval
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model": name, "unloaded_from": unloaded})
+}
+
+// handleGraphPut places a graph registration: the target replica must
+// already hold every model the graph references, so a 404 unknown_model
+// or 409 model_not_loaded from one candidate spills to the next. Other
+// answers (200, 400 bad graph, 409 stale_version CAS failures) are
+// final.
+func (rt *Router) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	cands := rt.candidates(name, func(rep *replica) bool { return rep.holdsGraph(name) })
+	if len(cands) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, meshError{
+			Error: "no replicas available", Code: "no_replicas"})
+		return
+	}
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	var lastSpill *struct {
+		rep  *replica
+		resp *http.Response
+		body []byte
+	}
+	for _, rep := range cands {
+		resp, respBody, err := rt.attempt(rep, r, r.URL.Path, body)
+		if err != nil {
+			lastErr = err
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			continue
+		}
+		if graphPlacementSpill(resp.StatusCode, respBody) {
+			rep.spills.Add(1)
+			lastSpill = &struct {
+				rep  *replica
+				resp *http.Response
+				body []byte
+			}{rep, resp, respBody}
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			rep.placements.Add(1)
+			_ = rep.refreshView(rt.cfg.Client) //microvet:ignore droppederr view refresh is best-effort; the health loop repairs it within one interval
+		}
+		writeProxied(w, rep, resp, respBody)
+		return
+	}
+	if lastSpill != nil {
+		rt.placeFails.Add(1)
+		writeProxied(w, lastSpill.rep, lastSpill.resp, lastSpill.body)
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, meshError{
+		Error: fmt.Sprintf("all replicas failed: %v", lastErr), Code: "replicas_unreachable"})
+}
+
+// graphPlacementSpill reports whether a graph PUT answer means "this
+// replica lacks the referenced models" (spill) rather than "the graph
+// itself is bad" (final).
+func graphPlacementSpill(status int, body []byte) bool {
+	if status != http.StatusNotFound && status != http.StatusConflict {
+		return false
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	if json.Unmarshal(body, &e) != nil {
+		return false
+	}
+	return e.Code == "unknown_model" || e.Code == "model_not_loaded"
+}
+
+// handleGraphDelete fans the delete out to every up replica holding the
+// graph; 404 when none does.
+func (rt *Router) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	holders := rt.holdersOf(name, func(rep *replica) bool { return rep.holdsGraph(name) })
+	if len(holders) == 0 {
+		writeJSON(w, http.StatusNotFound, meshError{
+			Error: fmt.Sprintf("graph %s is not registered on any replica", name)})
+		return
+	}
+	deleted := []string{}
+	for _, rep := range holders {
+		resp, respBody, err := rt.attempt(rep, r, r.URL.Path, body)
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, meshError{
+				Error: fmt.Sprintf("delete on %s failed: %v", rep.url, err),
+				Code:  "replicas_unreachable"})
+			return
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			writeProxied(w, rep, resp, respBody)
+			return
+		}
+		deleted = append(deleted, rep.url)
+		_ = rep.refreshView(rt.cfg.Client) //microvet:ignore droppederr view refresh is best-effort; the health loop repairs it within one interval
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": name, "deleted_from": deleted})
+}

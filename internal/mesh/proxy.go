@@ -1,0 +1,271 @@
+package mesh
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// meshError is the router's own error body, shape-compatible with the
+// replicas' v2 error body.
+type meshError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v) //microvet:ignore droppederr headers are already written; an encode failure means the client hung up
+}
+
+// readBody buffers the request body (bounded) so an attempt can be
+// replayed against an alternate replica. Returns false after writing
+// the error response.
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, meshError{
+			Error: fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes)})
+		return nil, false
+	}
+	return body, true
+}
+
+// attempt issues one proxied request to one replica and returns the
+// response with its body fully buffered (bounded). The replica's
+// request/error counters and latency histogram are updated here.
+func (rt *Router) attempt(rep *replica, r *http.Request, path string, body []byte) (*http.Response, []byte, error) {
+	url := rep.url + path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set("X-Micronets-Trace-Id", r.Header.Get("X-Micronets-Trace-Id"))
+	start := time.Now()
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rep.errors.Add(1)
+		return nil, nil, err
+	}
+	defer drainClose(resp.Body)
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		rep.errors.Add(1)
+		return nil, nil, err
+	}
+	rep.requests.Add(1)
+	rep.hist.Observe(time.Since(start))
+	return resp, respBody, nil
+}
+
+// writeProxied relays a buffered replica response to the client,
+// stamping which replica answered.
+func writeProxied(w http.ResponseWriter, rep *replica, resp *http.Response, body []byte) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	for k, vs := range resp.Header {
+		if strings.HasPrefix(k, "X-Micronets-") && k != "X-Micronets-Trace-Id" {
+			w.Header()[k] = vs
+		}
+	}
+	w.Header().Set("X-Micronets-Replica", rep.url)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body) //microvet:ignore droppederr headers are already written; a write failure means the client hung up
+}
+
+// forward proxies one data-plane request along the candidate list:
+// connection failures back off exponentially and move to the next
+// candidate, and (when retryOn404 is set, for infer/metadata routes
+// keyed by a name the fleet view may be stale about) a 404 from one
+// replica falls through to the next. Any other response — success or
+// error — is the answer and is relayed as-is.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, holds func(*replica) bool, retryOn404 bool) {
+	body, ok := rt.readBody(w, r)
+	if !ok {
+		return
+	}
+	cands := rt.candidates(key, holds)
+	if len(cands) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, meshError{
+			Error: "no replicas available", Code: "no_replicas"})
+		return
+	}
+	if len(cands) > rt.cfg.MaxAttempts {
+		cands = cands[:rt.cfg.MaxAttempts]
+	}
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	var last404 *http.Response
+	var last404Body []byte
+	var last404Rep *replica
+	for i, rep := range cands {
+		if i > 0 {
+			rt.retries.Add(1)
+		}
+		resp, respBody, err := rt.attempt(rep, r, r.URL.Path, body)
+		if err != nil {
+			lastErr = err
+			if i < len(cands)-1 {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+			}
+			continue
+		}
+		if retryOn404 && resp.StatusCode == http.StatusNotFound && i < len(cands)-1 {
+			last404, last404Body, last404Rep = resp, respBody, rep
+			continue
+		}
+		writeProxied(w, rep, resp, respBody)
+		return
+	}
+	if last404 != nil {
+		writeProxied(w, last404Rep, last404, last404Body)
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, meshError{
+		Error: fmt.Sprintf("all replicas failed: %v", lastErr), Code: "replicas_unreachable"})
+}
+
+// handleModelProxy serves the per-model data plane (metadata, profile,
+// infer): prefer replicas holding the model, fall through the fleet on
+// stale-view 404s.
+func (rt *Router) handleModelProxy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rt.forward(w, r, name, func(rep *replica) bool { return rep.holdsModel(name) }, true)
+}
+
+// handleGraphProxy serves per-graph reads and infers the same way.
+func (rt *Router) handleGraphProxy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rt.forward(w, r, name, func(rep *replica) bool { return rep.holdsGraph(name) }, true)
+}
+
+func (rt *Router) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
+}
+
+// handleReady reports fleet readiness: ready while at least one replica
+// is up, with the up count and the fleet-wide distinct READY model
+// count so orchestration can gate on "serving" rather than "listening".
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	up := rt.upCount()
+	body := map[string]any{
+		"ready":        up > 0,
+		"replicas":     len(rt.replicas),
+		"replicas_up":  up,
+		"models_ready": len(rt.mergedModels()),
+	}
+	code := http.StatusOK
+	if up == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// handleModels answers GET /v2/models with the fleet union.
+func (rt *Router) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": rt.mergedModels()})
+}
+
+// handleGraphList answers GET /v2/graphs with the fleet union,
+// deduplicated by graph name.
+func (rt *Router) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	seen := map[string]bool{}
+	graphs := []map[string]any{}
+	for _, rep := range rt.replicas {
+		if !rep.up.Load() {
+			continue
+		}
+		for _, row := range rep.snapshotView().graphRows {
+			name, _ := row["name"].(string)
+			if name == "" || seen[name] {
+				continue
+			}
+			seen[name] = true
+			graphs = append(graphs, row)
+		}
+	}
+	sort.Slice(graphs, func(i, j int) bool {
+		ni, _ := graphs[i]["name"].(string)
+		nj, _ := graphs[j]["name"].(string)
+		return ni < nj
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": graphs})
+}
+
+// handleFleetIndex answers GET /v2/repository/index with the merged
+// fleet view: every replica's index rows annotated with the replica
+// that holds them, a per-replica budget summary, and fleet totals.
+// Fleet ram_budget_bytes / free_bytes are -1 (unbounded) when any up
+// replica is unbudgeted, matching the single-replica convention.
+func (rt *Router) handleFleetIndex(w http.ResponseWriter, r *http.Request) {
+	rows := []map[string]any{}
+	replicas := []map[string]any{}
+	budget, planned, free := 0, 0, 0
+	unbounded := false
+	for _, rep := range rt.replicas {
+		up := rep.up.Load()
+		v := rep.snapshotView()
+		replicas = append(replicas, map[string]any{
+			"url":               rep.url,
+			"up":                up,
+			"models_ready":      v.modelsReady,
+			"ram_budget_bytes":  v.budgetBytes,
+			"ram_planned_bytes": v.plannedBytes,
+			"free_bytes":        v.freeBytes,
+		})
+		if !up {
+			continue
+		}
+		if v.budgetBytes <= 0 {
+			unbounded = true
+		} else {
+			budget += v.budgetBytes
+			free += v.freeBytes
+		}
+		planned += v.plannedBytes
+		for _, row := range v.rows {
+			merged := make(map[string]any, len(row)+1)
+			for k, val := range row {
+				merged[k] = val
+			}
+			merged["replica"] = rep.url
+			rows = append(rows, merged)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ni, _ := rows[i]["name"].(string)
+		nj, _ := rows[j]["name"].(string)
+		if ni != nj {
+			return ni < nj
+		}
+		ri, _ := rows[i]["replica"].(string)
+		rj, _ := rows[j]["replica"].(string)
+		return ri < rj
+	})
+	if unbounded {
+		budget, free = -1, -1
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":            rows,
+		"replicas":          replicas,
+		"ram_budget_bytes":  budget,
+		"ram_planned_bytes": planned,
+		"free_bytes":        free,
+	})
+}

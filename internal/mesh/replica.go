@@ -1,0 +1,235 @@
+package mesh
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"micronets/internal/obs"
+)
+
+// replica is one backend cmd/serve process as the router sees it:
+// health state, the last fleet-view snapshot (which models and graphs
+// it serves, how much budget is free), and per-replica metrics.
+type replica struct {
+	url string // base URL, no trailing slash
+
+	up atomic.Bool
+	// consecFails / consecOKs drive the mark-down / mark-up hysteresis.
+	// They are touched only by the health loop (and by tests through
+	// setUp), never by the data path.
+	consecFails int
+	consecOKs   int
+
+	transitions atomic.Uint64 // health state flips (either direction)
+	requests    atomic.Uint64 // proxied requests the replica answered
+	errors      atomic.Uint64 // transport failures talking to it
+	placements  atomic.Uint64 // admin loads placed here
+	spills      atomic.Uint64 // budget 409s (or free_bytes skips) here
+	hist        obs.Histogram // latency of answered proxied requests
+
+	mu   sync.Mutex
+	view replicaView // guarded by replica.mu
+}
+
+// replicaView is the router's last successful snapshot of a replica's
+// repository index and graph list. A zero view (before the first
+// refresh, or while the replica is down) holds nothing.
+type replicaView struct {
+	// models maps name → true for names with a READY version; graphs
+	// likewise for registered graphs.
+	models map[string]bool
+	graphs map[string]bool
+	// rows / graphRows are the raw index and graph-list rows (decoded
+	// JSON objects), kept verbatim so the merged fleet views never lag
+	// the replica's schema.
+	rows      []map[string]any
+	graphRows []map[string]any
+	// budget accounting from the index top level; freeBytes is -1 for
+	// an unbudgeted replica.
+	budgetBytes  int
+	plannedBytes int
+	freeBytes    int
+	modelsReady  int
+}
+
+func newReplica(url string) *replica {
+	return &replica{url: strings.TrimRight(url, "/")}
+}
+
+// setUp transitions the health state, counting actual flips. It resets
+// the opposite-direction hysteresis counter so a recovered replica
+// needs fresh consecutive failures to go down again (and vice versa).
+func (rep *replica) setUp(up bool) {
+	if rep.up.Swap(up) != up {
+		rep.transitions.Add(1)
+	}
+	if up {
+		rep.consecFails = 0
+	} else {
+		rep.consecOKs = 0
+		rep.mu.Lock()
+		rep.view = replicaView{}
+		rep.mu.Unlock()
+	}
+}
+
+// snapshotView returns the current view under the lock.
+func (rep *replica) snapshotView() replicaView {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.view
+}
+
+// holdsModel / holdsGraph consult the fleet view.
+func (rep *replica) holdsModel(name string) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.view.models[name]
+}
+
+func (rep *replica) holdsGraph(name string) bool {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	return rep.view.graphs[name]
+}
+
+// freeBytes returns the last observed free budget (-1 = unbudgeted or
+// unknown, which the placer treats as "no pressure").
+func (rep *replica) freeBytes() int {
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if rep.view.rows == nil && rep.view.budgetBytes == 0 {
+		return -1 // never refreshed
+	}
+	return rep.view.freeBytes
+}
+
+// probe runs one health check against the replica and applies the
+// mark-down / mark-up hysteresis: down after downAfter consecutive
+// failures, up after upAfter consecutive successes. On success the
+// fleet view is refreshed too. Called from the health loop (or New's
+// synchronous first round); never concurrently for one replica.
+func (rep *replica) probe(client *http.Client, downAfter, upAfter int) {
+	ready, modelsReady, err := rep.checkReady(client)
+	if err != nil || !ready {
+		rep.consecOKs = 0
+		rep.consecFails++
+		if rep.up.Load() && rep.consecFails >= downAfter {
+			rep.setUp(false)
+		}
+		return
+	}
+	rep.consecFails = 0
+	rep.consecOKs++
+	if !rep.up.Load() && rep.consecOKs >= upAfter {
+		rep.setUp(true)
+	}
+	if rep.up.Load() {
+		if err := rep.refreshView(client); err == nil {
+			rep.mu.Lock()
+			rep.view.modelsReady = modelsReady
+			rep.mu.Unlock()
+		}
+	}
+}
+
+// checkReady probes GET /v2/health/ready: up iff the replica answers
+// 200 with ready:true. The models_ready count distinguishes "up but
+// empty" from "serving" during warm-up.
+func (rep *replica) checkReady(client *http.Client) (ready bool, modelsReady int, err error) {
+	var body struct {
+		Ready       bool `json:"ready"`
+		ModelsReady int  `json:"models_ready"`
+	}
+	resp, err := client.Get(rep.url + "/v2/health/ready")
+	if err != nil {
+		return false, 0, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return false, 0, fmt.Errorf("mesh: %s ready: %s", rep.url, resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err != nil {
+		return false, 0, err
+	}
+	return body.Ready, body.ModelsReady, nil
+}
+
+// refreshView re-reads the replica's repository index and graph list
+// into the fleet view. Partial failures keep the previous view: a
+// stale map beats an empty one for routing.
+func (rep *replica) refreshView(client *http.Client) error {
+	var idx struct {
+		Models          []map[string]any `json:"models"`
+		RAMBudgetBytes  int              `json:"ram_budget_bytes"`
+		RAMPlannedBytes int              `json:"ram_planned_bytes"`
+		FreeBytes       int              `json:"free_bytes"`
+	}
+	if err := getJSON(client, rep.url+"/v2/repository/index", &idx); err != nil {
+		return err
+	}
+	var gl struct {
+		Graphs []map[string]any `json:"graphs"`
+	}
+	if err := getJSON(client, rep.url+"/v2/graphs", &gl); err != nil {
+		return err
+	}
+	v := replicaView{
+		models:       make(map[string]bool, len(idx.Models)),
+		graphs:       make(map[string]bool, len(gl.Graphs)),
+		rows:         idx.Models,
+		graphRows:    gl.Graphs,
+		budgetBytes:  idx.RAMBudgetBytes,
+		plannedBytes: idx.RAMPlannedBytes,
+		freeBytes:    idx.FreeBytes,
+	}
+	if v.rows == nil {
+		v.rows = []map[string]any{}
+	}
+	if v.graphRows == nil {
+		v.graphRows = []map[string]any{}
+	}
+	for _, row := range idx.Models {
+		name, _ := row["name"].(string)
+		state, _ := row["state"].(string)
+		if name != "" && state == "READY" {
+			v.models[name] = true
+		}
+	}
+	for _, g := range gl.Graphs {
+		if name, _ := g["name"].(string); name != "" {
+			v.graphs[name] = true
+		}
+	}
+	rep.mu.Lock()
+	modelsReady := rep.view.modelsReady
+	rep.view = v
+	rep.view.modelsReady = modelsReady
+	rep.mu.Unlock()
+	return nil
+}
+
+// getJSON fetches one JSON document (bounded) or fails on non-200.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mesh: GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(v)
+}
+
+// drainClose empties and closes a response body so the transport can
+// reuse the connection.
+func drainClose(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	rc.Close()
+}

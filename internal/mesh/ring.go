@@ -1,0 +1,141 @@
+package mesh
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over replica URLs. Each member is
+// hashed onto the ring at VirtualNodes points; a key's preference order
+// is the distinct members met walking clockwise from the key's hash.
+// Two properties matter to the placer:
+//
+//   - affinity: the same model name always starts its candidate walk at
+//     the same replica, so repeated loads and the data plane agree on
+//     where a model should live without any coordination state;
+//   - minimal movement: adding a member only steals keys for itself and
+//     removing one only reassigns the keys it owned, so fleet membership
+//     changes do not reshuffle every placement.
+//
+// A Ring is not safe for concurrent mutation; the router builds one at
+// construction and only reads it afterwards.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	urls   []string    // distinct members, insertion order
+}
+
+type ringPoint struct {
+	hash uint64
+	url  string
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member (≤0 picks
+// the default 128) over the given members.
+func NewRing(vnodes int, urls ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = 128
+	}
+	r := &Ring{vnodes: vnodes}
+	for _, u := range urls {
+		r.Add(u)
+	}
+	return r
+}
+
+// Add inserts a member (no-op when already present).
+func (r *Ring) Add(url string) {
+	for _, u := range r.urls {
+		if u == url {
+			return
+		}
+	}
+	r.urls = append(r.urls, url)
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(url + "#" + strconv.Itoa(i)), url: url})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member (no-op when absent).
+func (r *Ring) Remove(url string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.url != url {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	for i, u := range r.urls {
+		if u == url {
+			r.urls = append(r.urls[:i], r.urls[i+1:]...)
+			break
+		}
+	}
+}
+
+// Members returns the current member URLs (insertion order).
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.urls))
+	copy(out, r.urls)
+	return out
+}
+
+// Owner returns the first member of Order(key), or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].url
+}
+
+// Order returns every member in the key's preference order: the walk
+// clockwise from the key's hash, keeping the first occurrence of each
+// member. The full order (not just the owner) is what budget spill
+// traverses.
+func (r *Ring) Order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.urls))
+	seen := make(map[string]bool, len(r.urls))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.urls); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.url] {
+			seen[p.url] = true
+			out = append(out, p.url)
+		}
+	}
+	return out
+}
+
+// search returns the index of the first ring point at or after the
+// key's hash (wrapping).
+func (r *Ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) // hash.Hash writes never fail
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw fnv-1a clusters badly on
+// near-identical strings — vnode labels differ only in a digit or two,
+// and an unmixed ring ends up with whole octants owned by one replica.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

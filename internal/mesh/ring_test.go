@@ -1,0 +1,157 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringURLs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8151", i)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("model-%d", i)
+	}
+	return out
+}
+
+// TestRingDistribution checks that ownership is roughly balanced for
+// every fleet size the router is designed for: no replica owns less
+// than half or more than double its fair share of 10k keys.
+func TestRingDistribution(t *testing.T) {
+	const nKeys = 10000
+	keys := ringKeys(nKeys)
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8} {
+		t.Run(fmt.Sprintf("replicas=%d", n), func(t *testing.T) {
+			r := NewRing(0, ringURLs(n)...)
+			counts := map[string]int{}
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d replicas own keys", len(counts), n)
+			}
+			fair := float64(nKeys) / float64(n)
+			for url, c := range counts {
+				if float64(c) < fair/2 || float64(c) > fair*2 {
+					t.Errorf("%s owns %d keys; want within [%.0f, %.0f] of fair share %.0f",
+						url, c, fair/2, fair*2, fair)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovement checks the consistent-hashing contract:
+// adding a member only steals keys for itself, removing one only
+// reassigns the keys it owned.
+func TestRingMinimalMovement(t *testing.T) {
+	const nKeys = 10000
+	keys := ringKeys(nKeys)
+	cases := []struct{ before int }{{2}, {3}, {4}, {7}}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("add-to-%d", tc.before), func(t *testing.T) {
+			urls := ringURLs(tc.before + 1)
+			r := NewRing(0, urls[:tc.before]...)
+			before := map[string]string{}
+			for _, k := range keys {
+				before[k] = r.Owner(k)
+			}
+			added := urls[tc.before]
+			r.Add(added)
+			moved := 0
+			for _, k := range keys {
+				if now := r.Owner(k); now != before[k] {
+					moved++
+					if now != added {
+						t.Fatalf("key %s moved %s → %s, not to the added member %s",
+							k, before[k], now, added)
+					}
+				}
+			}
+			// Expect ~1/(n+1) of keys to move; allow 2× slack.
+			if maxMoved := 2 * nKeys / (tc.before + 1); moved > maxMoved {
+				t.Errorf("%d keys moved on add; want ≤ %d", moved, maxMoved)
+			}
+			if moved == 0 {
+				t.Error("no keys moved to the added member; it owns nothing")
+			}
+		})
+		t.Run(fmt.Sprintf("remove-from-%d", tc.before+1), func(t *testing.T) {
+			urls := ringURLs(tc.before + 1)
+			r := NewRing(0, urls...)
+			before := map[string]string{}
+			for _, k := range keys {
+				before[k] = r.Owner(k)
+			}
+			removed := urls[tc.before]
+			r.Remove(removed)
+			for _, k := range keys {
+				now := r.Owner(k)
+				if before[k] == removed {
+					if now == removed {
+						t.Fatalf("key %s still owned by removed member", k)
+					}
+				} else if now != before[k] {
+					t.Fatalf("key %s moved %s → %s although its owner was not removed",
+						k, before[k], now)
+				}
+			}
+		})
+	}
+}
+
+// TestRingOrder checks the preference walk: every member exactly once,
+// starting at the owner, and deterministic for one key.
+func TestRingOrder(t *testing.T) {
+	urls := ringURLs(5)
+	r := NewRing(0, urls...)
+	for _, k := range ringKeys(50) {
+		order := r.Order(k)
+		if len(order) != len(urls) {
+			t.Fatalf("Order(%s) returned %d members, want %d", k, len(order), len(urls))
+		}
+		if order[0] != r.Owner(k) {
+			t.Fatalf("Order(%s)[0] = %s, Owner = %s", k, order[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, u := range order {
+			if seen[u] {
+				t.Fatalf("Order(%s) repeats %s", k, u)
+			}
+			seen[u] = true
+		}
+		again := r.Order(k)
+		for i := range order {
+			if order[i] != again[i] {
+				t.Fatalf("Order(%s) is not deterministic", k)
+			}
+		}
+	}
+}
+
+// TestRingEdgeCases covers empty and single-member rings plus
+// duplicate adds.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("x"); got != "" {
+		t.Errorf("empty ring Owner = %q, want empty", got)
+	}
+	if got := r.Order("x"); got != nil {
+		t.Errorf("empty ring Order = %v, want nil", got)
+	}
+	r.Add("http://a")
+	r.Add("http://a") // duplicate: no-op
+	if got := len(r.Members()); got != 1 {
+		t.Fatalf("members after duplicate add = %d, want 1", got)
+	}
+	if got := r.Owner("anything"); got != "http://a" {
+		t.Errorf("single-member Owner = %q", got)
+	}
+}

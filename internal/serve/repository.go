@@ -240,6 +240,19 @@ func (r *Repository) PlannedRAMBytes() int {
 	return r.planned
 }
 
+// FreeRAMBytes returns budget − planned: the bytes a new load could still
+// reserve. Unbudgeted repositories return -1 (unbounded), never a
+// negative difference — the fleet placer treats any negative value as
+// "no budget pressure here".
+func (r *Repository) FreeRAMBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.RAMBudgetBytes <= 0 {
+		return -1
+	}
+	return r.cfg.RAMBudgetBytes - r.planned
+}
+
 // Load publishes spec as the serving version of spec.Name: lower, plan
 // capacity against the budget, warm the pool, then blue/green swap. It
 // returns the new (or, for an identical re-load, the existing) version's

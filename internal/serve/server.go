@@ -280,12 +280,18 @@ func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"live": true})
 }
 
+// handleReady reports readiness plus how many models have a serving
+// (READY) version, so a fleet router can tell "up but still empty"
+// (ready, models_ready 0) from "serving" during replica warm-up.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	modelsReady := len(s.repo.actives())
 	if !s.ready.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "models_ready": modelsReady})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready": true, "models_ready": modelsReady})
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -483,6 +489,9 @@ type repoBudgetError struct {
 	NeededBytes  int    `json:"needed_bytes"`
 	BudgetBytes  int    `json:"budget_bytes"`
 	PlannedBytes int    `json:"planned_bytes"`
+	// FreeBytes = BudgetBytes − PlannedBytes, precomputed so a fleet
+	// placer can compare it against NeededBytes without diffing gauges.
+	FreeBytes int `json:"free_bytes"`
 }
 
 // writeRepoError maps control-plane errors onto admin API statuses: 409
@@ -498,6 +507,7 @@ func writeRepoError(w http.ResponseWriter, err error) {
 			NeededBytes:  be.NeededBytes,
 			BudgetBytes:  be.BudgetBytes,
 			PlannedBytes: be.PlannedBytes,
+			FreeBytes:    be.BudgetBytes - be.PlannedBytes,
 		})
 		return
 	}
@@ -527,6 +537,7 @@ func (s *Server) handleRepoIndex(w http.ResponseWriter, r *http.Request) {
 		"models":            s.repo.Index(),
 		"ram_budget_bytes":  s.repo.RAMBudgetBytes(),
 		"ram_planned_bytes": s.repo.PlannedRAMBytes(),
+		"free_bytes":        s.repo.FreeRAMBytes(),
 	})
 }
 

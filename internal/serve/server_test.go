@@ -508,6 +508,11 @@ func TestAdminBudgetConflict(t *testing.T) {
 	if body["needed_bytes"].(float64) <= 0 || body["budget_bytes"].(float64) != float64(budget) {
 		t.Fatalf("409 byte accounting wrong: %v", body)
 	}
+	// free_bytes is the precomputed budget − planned difference the fleet
+	// placer bin-packs against; it must agree with the other two fields.
+	if body["free_bytes"].(float64) != body["budget_bytes"].(float64)-body["planned_bytes"].(float64) {
+		t.Fatalf("409 free_bytes != budget - planned: %v", body)
+	}
 	if idx := repoIndex(t, ts.URL); len(idx) != 1 || idx["MicroNet-KWS-S"] != nil {
 		t.Fatalf("rejected load leaked into the index: %v", idx)
 	}
@@ -660,6 +665,58 @@ func TestDuplicateModelNames(t *testing.T) {
 	}
 	if n := s.repo.Lowerings(); n != 1 {
 		t.Fatalf("duplicated name lowered %d times, want 1", n)
+	}
+}
+
+// TestReadyReportsModelsReady: the readiness body carries the count of
+// models with a serving version, so a fleet router can tell "up but
+// empty" from "serving" during warm-up — and the count survives the
+// not-ready (503) branch too.
+func TestReadyReportsModelsReady(t *testing.T) {
+	s, ts := newTestServer(t)
+	out := getJSON(t, ts.URL+"/v2/health/ready", 200)
+	if out["ready"] != true || out["models_ready"].(float64) != float64(len(testModels)) {
+		t.Fatalf("ready body = %v, want ready:true models_ready:%d", out, len(testModels))
+	}
+	s.ready.Store(false)
+	out = getJSON(t, ts.URL+"/v2/health/ready", 503)
+	if out["ready"] != false {
+		t.Fatalf("not-ready body = %v", out)
+	}
+	if _, ok := out["models_ready"]; !ok {
+		t.Fatalf("not-ready body dropped models_ready: %v", out)
+	}
+	s.ready.Store(true)
+}
+
+// TestRepoIndexReportsFreeBytes: the index top level precomputes
+// free_bytes = budget − planned for budgeted repositories and -1 for
+// unbudgeted ones, so the placer never has to diff two gauges.
+func TestRepoIndexReportsFreeBytes(t *testing.T) {
+	_, ts := newTestServer(t) // unbudgeted
+	out := getJSON(t, ts.URL+"/v2/repository/index", 200)
+	if out["free_bytes"].(float64) != -1 {
+		t.Fatalf("unbudgeted index free_bytes = %v, want -1", out["free_bytes"])
+	}
+
+	budget := 4 << 20
+	s, err := New(Config{
+		Models:         []string{"DSCNN-S"},
+		Options:        ModelOptions{Seed: 42, AppendSoftmax: true},
+		PoolSize:       1,
+		Batch:          BatcherConfig{MaxBatch: 1},
+		RAMBudgetBytes: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts2.Close(); s.Close() })
+	out = getJSON(t, ts2.URL+"/v2/repository/index", 200)
+	free := out["free_bytes"].(float64)
+	planned := out["ram_planned_bytes"].(float64)
+	if planned <= 0 || free != float64(budget)-planned {
+		t.Fatalf("budgeted index free_bytes = %v, want %d - %v", free, budget, planned)
 	}
 }
 
